@@ -1,0 +1,91 @@
+//===-- bench/JbbFigure.h - Figures 13-15 shared harness -------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The warehouse-throughput experiment behind Figures 13, 14, and 15: one
+/// warehouse is run NumWindows times with and without mutation, and each
+/// window's throughput is compared. Early windows absorb the (re)compilation
+/// and mutation charges — the paper's warm-up dip — and later windows show
+/// the steady-state gain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_BENCH_JBBFIGURE_H
+#define DCHM_BENCH_JBBFIGURE_H
+
+#include "BenchHarness.h"
+
+#include <cstdio>
+
+namespace dchm {
+namespace bench {
+
+struct JbbFigureConfig {
+  JbbVariant Variant = JbbVariant::Jbb2000;
+  int NumWindows = 8;
+  uint64_t WindowCycles = 3'000'000;
+  bool Accelerated = false; ///< Figure 14's accelerated hotness detection
+  /// Sparse (Jikes-like timer) sampling so hotness detection spans
+  /// warehouses, reproducing the paper's warm-up dip.
+  uint64_t SampleInterval = 150;
+};
+
+inline void runJbbFigure(const JbbFigureConfig &Cfg) {
+  auto W = makeJbb(Cfg.Variant);
+
+  OfflineConfig OC;
+  OC.HotStateMinFraction = 0.05;
+  OfflineResult R = runOfflinePipeline(*W, OC);
+
+  auto RunWindows = [&](bool Mutation) {
+    auto P = W->buildProgram();
+    VMOptions Opts;
+    Opts.EnableMutation = Mutation;
+    Opts.HeapBytes = heapBytesFor(W->name());
+    Opts.Adaptive.AcceleratedMutableHotness = Mutation && Cfg.Accelerated;
+    Opts.Adaptive.SampleInterval = Cfg.SampleInterval;
+    VirtualMachine VM(*P, Opts);
+    OlcDatabase Db;
+    if (Mutation) {
+      VM.setMutationPlan(&R.Plan);
+      Db = analyzeObjectLifetimeConstants(*P, R.Plan);
+      VM.setOlcDatabase(&Db);
+    }
+    W->initVm(VM);
+    return W->runWarehouseWindows(VM, Cfg.NumWindows, Cfg.WindowCycles,
+                                  /*WarmupCycles=*/0);
+  };
+
+  auto Base = RunWindows(false);
+  auto Mut = RunWindows(true);
+
+  std::printf("%-5s | %14s | %14s | %9s\n", "wh", "base tx/s", "mutated tx/s",
+              "delta");
+  std::printf("------+----------------+----------------+----------\n");
+  for (int I = 0; I < Cfg.NumWindows; ++I) {
+    double Delta = Mut[static_cast<size_t>(I)].Throughput /
+                       Base[static_cast<size_t>(I)].Throughput -
+                   1.0;
+    std::printf("wh%-3d | %14.1f | %14.1f | %+8.3f%%\n", I + 1,
+                Base[static_cast<size_t>(I)].Throughput,
+                Mut[static_cast<size_t>(I)].Throughput, 100.0 * Delta);
+  }
+  // Steady state: mean of the last three windows.
+  auto SteadyMean = [&](const std::vector<JbbWindow> &Ws) {
+    double S = 0;
+    for (size_t I = Ws.size() - 3; I < Ws.size(); ++I)
+      S += Ws[I].Throughput;
+    return S / 3.0;
+  };
+  std::printf("\nsteady-state throughput change: %+.2f%%\n",
+              100.0 * (SteadyMean(Mut) / SteadyMean(Base) - 1.0));
+}
+
+} // namespace bench
+} // namespace dchm
+
+#endif // DCHM_BENCH_JBBFIGURE_H

@@ -1,0 +1,97 @@
+//===-- bench/bench_ablation.cpp - Design-choice ablations ---------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+// Ablation study over the design choices DESIGN.md calls out:
+//  - full system vs mutation without specialization inlining (OLC off),
+//  - the k knob of the N > M + k inline-vs-specialize trade-off,
+//  - accelerated vs sampled hotness detection.
+// Run on SalaryDB (specialization-dominated) and SPECjbb2000 (inlining- and
+// OLC-dominated), matching where the paper says each mechanism matters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include <cstdio>
+
+using namespace dchm;
+
+namespace {
+
+struct AblationConfig {
+  const char *Label;
+  bool Mutation = true;
+  bool SpecInlining = true;
+  bool UseOlc = true;
+  bool Accelerated = false;
+  int TradeoffK = 0;
+  bool GuardedInlining = false;
+};
+
+uint64_t runWith(Workload &W, const MutationPlan &Plan,
+                 const AblationConfig &A) {
+  auto P = W.buildProgram();
+  VMOptions Opts;
+  Opts.EnableMutation = A.Mutation;
+  Opts.HeapBytes = bench::heapBytesFor(W.name());
+  Opts.Inline.EnableSpecializationInlining = A.SpecInlining;
+  Opts.Inline.TradeoffK = A.TradeoffK;
+  Opts.Inline.EnableGuardedInlining = A.GuardedInlining;
+  Opts.Adaptive.AcceleratedMutableHotness = A.Accelerated;
+  VirtualMachine VM(*P, Opts);
+  OlcDatabase Db;
+  if (A.Mutation) {
+    VM.setMutationPlan(&Plan);
+    if (A.UseOlc) {
+      Db = analyzeObjectLifetimeConstants(*P, Plan);
+      VM.setOlcDatabase(&Db);
+    }
+  }
+  W.drive(VM);
+  return VM.metrics().TotalCycles;
+}
+
+void ablate(Workload &W) {
+  OfflineConfig Cfg;
+  Cfg.HotStateMinFraction = 0.05;
+  OfflineResult R = runOfflinePipeline(W, Cfg);
+
+  const AblationConfig Configs[] = {
+      {"baseline (no mutation)", false, false, false, false, 0},
+      {"full system", true, true, true, false, 0},
+      {"no OLC database", true, true, false, false, 0},
+      {"no specialization inlining", true, false, false, false, 0},
+      {"accelerated hotness", true, true, true, true, 0},
+      {"trade-off k = -2 (inline-happy)", true, true, true, false, -2},
+      {"trade-off k = +8 (specialize-happy)", true, true, true, false, 8},
+      {"with guarded inlining", true, true, true, false, 0, true},
+  };
+  uint64_t Base = 0;
+  std::printf("-- %s --\n", W.name().c_str());
+  for (const AblationConfig &A : Configs) {
+    uint64_t Cycles = runWith(W, R.Plan, A);
+    if (Base == 0)
+      Base = Cycles;
+    std::printf("  %-38s %12llu cycles  (%+.2f%% vs baseline)\n", A.Label,
+                static_cast<unsigned long long>(Cycles),
+                100.0 * (static_cast<double>(Base) /
+                             static_cast<double>(Cycles) -
+                         1.0));
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  bench::printHeader("Ablation",
+                     "Contribution of each mechanism (positive = speedup over "
+                     "the no-mutation baseline).");
+  auto Salary = makeSalaryDb();
+  ablate(*Salary);
+  auto Jbb = makeJbb(JbbVariant::Jbb2000);
+  ablate(*Jbb);
+  return 0;
+}

@@ -1,0 +1,37 @@
+//===-- bench/bench_fig10_codesize.cpp - Figure 10: code size increase --------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+// Regenerates Figure 10: increase of the code compiled by the optimization
+// compiler when mutation is enabled (the extra specialized versions of
+// mutable methods compiled at opt2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include <cstdio>
+
+using namespace dchm;
+
+int main() {
+  bench::printHeader("Figure 10",
+                     "Compiled code size increase due to mutation (the main "
+                     "contribution is extra specialized versions at opt2).");
+  std::printf("%-12s | %9s | %12s | %12s | %s\n", "Program", "increase",
+              "base bytes", "extra bytes", "special versions");
+  std::printf("-------------+-----------+--------------+--------------+------"
+              "---\n");
+  for (auto &W : makeAllWorkloads()) {
+    bench::Comparison C = bench::compareRuns(*W);
+    std::printf("%-12s | %8.2f%% | %12zu | %12zu | %u\n", C.Name.c_str(),
+                C.codeSizeIncreasePercent(), C.Base.CodeBytes,
+                C.Mut.CodeBytes - C.Base.CodeBytes,
+                C.Mut.Adaptive.Recompilations);
+  }
+  std::printf("\nPaper: small everywhere (<8%% for the applications; our "
+              "micro-scale programs have fewer methods, so the ratio runs a "
+              "little higher on the microbenchmarks).\n");
+  return 0;
+}

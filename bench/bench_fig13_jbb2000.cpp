@@ -1,0 +1,26 @@
+//===-- bench/bench_fig13_jbb2000.cpp - Figure 13 -----------------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+// Regenerates Figure 13: SPECjbb2000's per-warehouse throughput change due
+// to mutation, one warehouse run eight times. Expected shape: warehouses 1-2
+// dip (opt2 recompilation of mutable methods + specialized code generation),
+// later warehouses show the steady-state gain.
+//
+//===----------------------------------------------------------------------===//
+
+#include "JbbFigure.h"
+
+using namespace dchm;
+
+int main() {
+  bench::printHeader("Figure 13",
+                     "SPECjbb2000 throughput change due to mutation, per "
+                     "warehouse window (8 windows).");
+  bench::JbbFigureConfig Cfg;
+  Cfg.Variant = JbbVariant::Jbb2000;
+  Cfg.SampleInterval = 70;
+  bench::runJbbFigure(Cfg);
+  return 0;
+}

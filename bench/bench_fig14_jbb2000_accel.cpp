@@ -1,0 +1,27 @@
+//===-- bench/bench_fig14_jbb2000_accel.cpp - Figure 14 -----------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+// Regenerates Figure 14: SPECjbb2000 with accelerated mutable-method hotness
+// detection (opt1/opt2 code for mutable methods generated immediately after
+// opt0). Expected shape vs Figure 13: a deeper warehouse-1 dip (all the
+// specialized compilation lands up front) and an earlier steady state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "JbbFigure.h"
+
+using namespace dchm;
+
+int main() {
+  bench::printHeader("Figure 14",
+                     "SPECjbb2000 throughput change with accelerated mutable "
+                     "method hotness detection.");
+  bench::JbbFigureConfig Cfg;
+  Cfg.Variant = JbbVariant::Jbb2000;
+  Cfg.Accelerated = true;
+  Cfg.SampleInterval = 70;
+  bench::runJbbFigure(Cfg);
+  return 0;
+}

@@ -1,0 +1,26 @@
+//===-- bench/bench_fig15_jbb2005.cpp - Figure 15 -----------------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+// Regenerates Figure 15: SPECjbb2005's per-warehouse throughput change.
+// Expected shape: the low-throughput period stretches further (mutable
+// methods are detected hot more slowly than in jbb2000) and the steady-state
+// gain is smaller (less time in mutable methods, more memory pressure).
+//
+//===----------------------------------------------------------------------===//
+
+#include "JbbFigure.h"
+
+using namespace dchm;
+
+int main() {
+  bench::printHeader("Figure 15",
+                     "SPECjbb2005 throughput change due to mutation, per "
+                     "warehouse window (8 windows).");
+  bench::JbbFigureConfig Cfg;
+  Cfg.Variant = JbbVariant::Jbb2005;
+  Cfg.SampleInterval = 25;
+  bench::runJbbFigure(Cfg);
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper and the repo's recorded
+# outputs (test_output.txt, bench_output.txt).
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$b" in *.a) continue;; esac
+  echo "==== $(basename "$b") ===="
+  "$b"
+  echo
+done 2>&1 | tee bench_output.txt

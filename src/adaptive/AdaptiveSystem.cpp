@@ -1,0 +1,89 @@
+//===-- adaptive/AdaptiveSystem.cpp - Adaptive optimization ------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adaptive/AdaptiveSystem.h"
+
+#include "support/Debug.h"
+
+namespace dchm {
+
+CompiledMethod *AdaptiveSystem::ensureCompiled(MethodInfo &M) {
+  if (M.General)
+    return M.General;
+  CompiledMethod *CM = OC.compileGeneral(M, 0);
+  P.installCode(M, CM);
+  Stats.InitialCompiles++;
+  if (Cfg.AcceleratedMutableHotness && M.IsMutable) {
+    // Figure 14: opt1 and opt2 code for mutable methods is generated
+    // immediately after their opt0 code.
+    recompile(M, 1);
+    recompile(M, 2);
+  }
+  return M.General;
+}
+
+void AdaptiveSystem::onMethodEntry(MethodInfo &M) {
+  if (Cfg.SampleInterval > 1 && (++EventTick % Cfg.SampleInterval) != 0)
+    return;
+  M.SampleCount++;
+  maybePromote(M);
+}
+
+void AdaptiveSystem::onBackedge(MethodInfo &M) {
+  if (Cfg.SampleInterval > 1 && (++EventTick % Cfg.SampleInterval) != 0)
+    return;
+  M.SampleCount++;
+  maybePromote(M);
+}
+
+void AdaptiveSystem::refreshMutableMethods() {
+  if (!Plan)
+    return;
+  for (const MutableClassPlan &CP : Plan->Classes)
+    for (MethodId MId : CP.MutableMethods) {
+      MethodInfo &M = P.method(MId);
+      if (M.IsMutable && M.CurOptLevel >= 2 && M.Specials.empty())
+        recompile(M, 2);
+    }
+}
+
+void AdaptiveSystem::maybePromote(MethodInfo &M) {
+  if (InRecompile)
+    return; // no nested recompilation from compile-time sampling
+  if (M.CurOptLevel == 0 && M.SampleCount >= Cfg.Opt1Threshold)
+    recompile(M, 1);
+  else if (M.CurOptLevel == 1 && M.SampleCount >= Cfg.Opt2Threshold)
+    recompile(M, 2);
+}
+
+void AdaptiveSystem::recompile(MethodInfo &M, int Level) {
+  InRecompile = true;
+  CompiledMethod *Old = M.General;
+  CompiledMethod *CM = OC.compileGeneral(M, Level);
+  if (Old)
+    Old->invalidate();
+  P.installCode(M, CM);
+  Stats.Recompilations++;
+
+  // "When a method is compiled at a high optimization level, the specialized
+  // versions are generated at the same time" — mutation occurs at opt2.
+  if (Level >= 2 && M.IsMutable && Plan) {
+    const MutableClassPlan *CP = Plan->planFor(M.Owner);
+    DCHM_CHECK(CP, "mutable method without a class plan");
+    for (CompiledMethod *OldSpecial : M.Specials)
+      if (OldSpecial)
+        OldSpecial->invalidate();
+    M.Specials.assign(CP->HotStates.size(), nullptr);
+    for (size_t S = 0; S < CP->HotStates.size(); ++S)
+      M.Specials[S] = OC.compileSpecial(M, Level, *CP, S);
+    if (Listener)
+      Listener->onMutableMethodRecompiled(M);
+  }
+  InRecompile = false;
+}
+
+} // namespace dchm

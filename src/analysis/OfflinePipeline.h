@@ -1,0 +1,79 @@
+//===-- analysis/OfflinePipeline.h - The Figure 3 pipeline ----*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glues the offline steps of Figure 3 into one pipeline:
+///
+///   identify a list of hot methods        (profiling run #1)
+///   -> derive state fields for hot classes (EQ 1 static analysis)
+///   -> find hot states for hot classes     (value-profiling run #2)
+///   -> hot state information               (the MutationPlan)
+///
+/// The pipeline builds fresh Program instances through a ProgramSource so
+/// profiling never contaminates the measured run; entity ids are stable
+/// because the source builds the identical program each time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_ANALYSIS_OFFLINEPIPELINE_H
+#define DCHM_ANALYSIS_OFFLINEPIPELINE_H
+
+#include "analysis/HotMethodProfile.h"
+#include "analysis/StateFieldAnalysis.h"
+#include "analysis/ValueProfiler.h"
+#include "core/VM.h"
+#include "mutation/MutationPlan.h"
+
+#include <memory>
+
+namespace dchm {
+
+/// Builds identical Program instances and drives profiling runs on them.
+/// Implemented by every workload.
+class ProgramSource {
+public:
+  virtual ~ProgramSource() = default;
+  /// Builds a fresh, linked Program. Must be deterministic: repeated calls
+  /// produce identical entity ids.
+  virtual std::unique_ptr<Program> buildProgram() = 0;
+  /// Drives a profiling-scale run (a fraction of the full workload).
+  virtual void driveProfile(VirtualMachine &VM) = 0;
+};
+
+/// Pipeline tunables.
+struct OfflineConfig {
+  StateFieldConfig StateFields;
+  size_t MaxFieldsPerClass = 3;
+  double HotStateMinFraction = 0.10;
+  size_t MaxHotStates = 8;
+  /// Minimum hotness for a method to become a *mutable method*.
+  double MutableMethodHotness = 0.002;
+};
+
+/// Pipeline artifacts (the plan plus the intermediate results, for tools
+/// and tests).
+struct OfflineResult {
+  MutationPlan Plan;
+  HotMethodProfile Profile;
+  std::vector<ClassStateFields> Candidates;
+};
+
+/// Runs the full offline pipeline.
+OfflineResult runOfflinePipeline(ProgramSource &Source,
+                                 const OfflineConfig &Cfg);
+
+/// Final assembly step shared by the offline pipeline and the online
+/// controller: turns mined hot states plus the hot-method profile into a
+/// MutationPlan (hot state tuples + the mutable methods that read them).
+MutationPlan assembleMutationPlan(
+    const Program &P, const HotMethodProfile &Profile,
+    const std::vector<ValueProfiler::ClassStates> &Mined,
+    const OfflineConfig &Cfg);
+
+} // namespace dchm
+
+#endif // DCHM_ANALYSIS_OFFLINEPIPELINE_H

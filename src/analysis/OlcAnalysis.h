@@ -1,0 +1,43 @@
+//===-- analysis/OlcAnalysis.h - Object lifetime constants ----*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The object-lifetime-constant analysis of paper section 4 (Figure 8):
+///
+///  Step 1 — field assignment analysis: for every mutable class, collect
+///  <field, constructor, value> tuples for instance fields assigned exactly
+///  one constant in a constructor and never assigned outside constructors
+///  anywhere in the program (a global scan, stronger than the paper's
+///  accessibility argument).
+///
+///  Step 2 — for every private instance reference field in other classes:
+///  prove that every assignment stores a fresh `new C(...)` built with one
+///  and the same constructor of a mutable class C, and that the field never
+///  escapes its declaring class (its loaded value is used only as a call
+///  receiver or in type tests: never stored, never passed as a non-receiver
+///  argument, never returned). When both proofs succeed, the step-1 tuples
+///  of that constructor are object lifetime constants for the field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_ANALYSIS_OLCANALYSIS_H
+#define DCHM_ANALYSIS_OLCANALYSIS_H
+
+#include "compiler/Olc.h"
+#include "mutation/MutationPlan.h"
+#include "runtime/Program.h"
+
+namespace dchm {
+
+/// Runs the OLC analysis over the program, scoped (as in the paper) to
+/// reference fields whose target is a mutable class of the plan.
+OlcDatabase analyzeObjectLifetimeConstants(const Program &P,
+                                           const MutationPlan &Plan);
+
+} // namespace dchm
+
+#endif // DCHM_ANALYSIS_OLCANALYSIS_H

@@ -1,0 +1,179 @@
+//===-- analysis/StateFieldAnalysis.cpp - EQ 1 field scoring -----------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StateFieldAnalysis.h"
+
+#include "ir/CFG.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dchm {
+
+namespace {
+
+/// Per-field accumulators for EQ 1.
+struct FieldScore {
+  double BranchUses = 0.0;  ///< sum of Li * Hi
+  double Assignments = 0.0; ///< sum of lj * hj
+  /// Assignment-relaxation tracking: true while all assignments seen store
+  /// one identical constant (paper: such fields keep their score).
+  bool AllAssignSameConst = true;
+  bool HaveConst = false;
+  int64_t ConstBits = 0;
+};
+
+/// Registers transitively derived from a field load, used to connect loads
+/// to the branch conditions they feed. One forward pass is enough for
+/// builder-produced code (compare chains are emitted after the load).
+void taintClosure(const IRFunction &F, size_t LoadIdx,
+                  std::vector<bool> &Tainted) {
+  Tainted.assign(F.RegTypes.size(), false);
+  Tainted[F.Insts[LoadIdx].Dst] = true;
+  for (size_t I = LoadIdx + 1; I < F.Insts.size(); ++I) {
+    const Instruction &Inst = F.Insts[I];
+    if (!Inst.hasDst())
+      continue;
+    bool UsesTainted = (Inst.A != NoReg && Tainted[Inst.A]) ||
+                       (Inst.B != NoReg && Tainted[Inst.B]) ||
+                       (Inst.C != NoReg && Tainted[Inst.C]);
+    if (UsesTainted)
+      Tainted[Inst.Dst] = true;
+    else if (Tainted[Inst.Dst] && Inst.Op != Opcode::Move)
+      Tainted[Inst.Dst] = false; // redefined from untainted sources
+  }
+}
+
+/// The constant stored by an assignment, when the stored register has a
+/// unique Const definition. Returns false otherwise.
+bool storedConstant(const IRFunction &F, Reg ValueReg, int64_t &Bits) {
+  int Defs = 0;
+  size_t DefIdx = 0;
+  for (size_t I = 0; I < F.Insts.size(); ++I) {
+    if (F.Insts[I].hasDst() && F.Insts[I].Dst == ValueReg) {
+      ++Defs;
+      DefIdx = I;
+    }
+  }
+  if (Defs != 1)
+    return false;
+  const Instruction &Def = F.Insts[DefIdx];
+  if (Def.Op == Opcode::ConstI) {
+    Bits = Def.Imm;
+    return true;
+  }
+  if (Def.Op == Opcode::ConstF) {
+    Value V = valueF(Def.FImm);
+    Bits = V.I;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+std::vector<ClassStateFields>
+analyzeStateFields(const Program &P, const HotMethodProfile &Prof,
+                   const StateFieldConfig &Cfg) {
+  // Score accumulation is global per field; attribution to classes happens
+  // afterwards (a field declared by a parent can be the state field of a
+  // hot derived class, like grade on SalaryEmployee).
+  std::map<FieldId, FieldScore> Scores;
+
+  for (size_t MIdx = 0; MIdx < P.numMethods(); ++MIdx) {
+    const MethodInfo &M = P.method(static_cast<MethodId>(MIdx));
+    if (!M.HasBody)
+      continue;
+    double H = Prof.hotness(M.Id);
+    const IRFunction &F = M.Bytecode;
+    CFG G(F);
+    std::vector<bool> Tainted;
+
+    for (size_t I = 0; I < F.Insts.size(); ++I) {
+      const Instruction &Inst = F.Insts[I];
+      if (Inst.Op == Opcode::GetField || Inst.Op == Opcode::GetStatic) {
+        // A use only matters in a hot function (assumption 2).
+        if (H < Cfg.HotMethodThreshold)
+          continue;
+        FieldId Fld = static_cast<FieldId>(Inst.Imm);
+        if (P.field(Fld).Ty == Type::Ref)
+          continue; // states are primitive values
+        taintClosure(F, I, Tainted);
+        for (size_t J = I + 1; J < F.Insts.size(); ++J) {
+          const Instruction &Br = F.Insts[J];
+          if ((Br.Op == Opcode::Cbnz || Br.Op == Opcode::Cbz) &&
+              Tainted[Br.A]) {
+            double Li = 1.0 + G.loopDepthOfInst(static_cast<uint32_t>(J));
+            Scores[Fld].BranchUses += Li * H;
+          }
+        }
+      } else if (Inst.Op == Opcode::PutField || Inst.Op == Opcode::PutStatic) {
+        FieldId Fld = static_cast<FieldId>(Inst.Imm);
+        if (P.field(Fld).Ty == Type::Ref)
+          continue;
+        FieldScore &S = Scores[Fld];
+        double Lj = 1.0 + G.loopDepthOfInst(static_cast<uint32_t>(I));
+        S.Assignments += Lj * H;
+        Reg ValueReg = Inst.Op == Opcode::PutField ? Inst.B : Inst.A;
+        int64_t Bits;
+        if (storedConstant(F, ValueReg, Bits)) {
+          if (!S.HaveConst) {
+            S.HaveConst = true;
+            S.ConstBits = Bits;
+          } else if (S.ConstBits != Bits) {
+            S.AllAssignSameConst = false;
+          }
+        } else {
+          S.AllAssignSameConst = false;
+        }
+      }
+    }
+  }
+
+  // Attribute scored fields to hot classes: a class qualifies when it
+  // declares a hot method; its candidate fields are the scored fields it
+  // declares or inherits.
+  std::vector<ClassStateFields> Out;
+  for (size_t CIdx = 0; CIdx < P.numClasses(); ++CIdx) {
+    const ClassInfo &C = P.cls(static_cast<ClassId>(CIdx));
+    if (C.IsInterface)
+      continue;
+    bool HasHotMethod = false;
+    for (MethodId MId : C.Methods)
+      if (Prof.hotness(MId) >= Cfg.HotMethodThreshold)
+        HasHotMethod = true;
+    if (!HasHotMethod)
+      continue;
+
+    ClassStateFields CSF;
+    CSF.Cls = C.Id;
+    for (auto &[Fld, S] : Scores) {
+      const FieldInfo &FI = P.field(Fld);
+      bool DeclaredOrInherited =
+          std::find(C.Ancestors.begin(), C.Ancestors.end(), FI.Owner) !=
+          C.Ancestors.end();
+      if (!DeclaredOrInherited)
+        continue;
+      // EQ 1, with the relaxation: same-constant assignments in hot
+      // functions do not count against the field.
+      double Penalty = S.AllAssignSameConst ? 0.0 : Cfg.R * S.Assignments;
+      double V = S.BranchUses - Penalty;
+      if (V >= Cfg.FieldScoreThreshold)
+        CSF.Candidates.push_back({Fld, V});
+    }
+    if (CSF.Candidates.empty())
+      continue;
+    std::sort(CSF.Candidates.begin(), CSF.Candidates.end(),
+              [](const StateFieldCandidate &A, const StateFieldCandidate &B) {
+                return A.Score > B.Score;
+              });
+    Out.push_back(std::move(CSF));
+  }
+  return Out;
+}
+
+} // namespace dchm

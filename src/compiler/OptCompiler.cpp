@@ -1,0 +1,75 @@
+//===-- compiler/OptCompiler.cpp - The MiniVM compiler ----------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/OptCompiler.h"
+
+#include "compiler/Passes.h"
+#include "compiler/Specializer.h"
+#include "runtime/CostModel.h"
+#include "support/Debug.h"
+
+namespace dchm {
+
+CompiledMethod *OptCompiler::finish(MethodInfo &M, IRFunction Code, int Level,
+                                    int StateIdx) {
+  // Compile cost scales with the unit size the optimizer actually processed
+  // (post-inlining instruction count).
+  size_t UnitSize = Code.Insts.size();
+  if (Level >= 1)
+    runOptPipeline(Code);
+  uint64_t Cycles =
+      StateIdx >= 0
+          ? CompileCost::SpecialPerCompile + CompileCost::SpecialPerInst * UnitSize
+          : CompileCost::PerCompile + CompileCost::perInst(Level) * UnitSize;
+
+  M.CompiledVersions.push_back(std::make_unique<CompiledMethod>(
+      M, std::move(Code), Level, StateIdx, Cycles));
+  CompiledMethod *CM = M.CompiledVersions.back().get();
+
+  Stats.TotalCompileCycles += Cycles;
+  Stats.TotalCodeBytes += CM->codeBytes();
+  if (StateIdx >= 0) {
+    Stats.SpecialCompileCycles += Cycles;
+    Stats.SpecialCodeBytes += CM->codeBytes();
+    Stats.SpecialCompiles++;
+  } else {
+    Stats.CompilesAtLevel[Level < 0 ? 0 : (Level > 2 ? 2 : Level)]++;
+  }
+  return CM;
+}
+
+CompiledMethod *OptCompiler::compileGeneral(MethodInfo &M, int Level) {
+  DCHM_CHECK(M.HasBody, "compiling a method without a body");
+  IRFunction Code = M.Bytecode;
+  if (Level >= 2) {
+    Inliner Inl(P, InlineCfg, Olc, Plan);
+    InlineStats IS = Inl.run(Code, M);
+    Stats.Inlining.SitesInlined += IS.SitesInlined;
+    Stats.Inlining.SpecializationInlines += IS.SpecializationInlines;
+    Stats.Inlining.TradeoffRejections += IS.TradeoffRejections;
+    Stats.Inlining.InstsAdded += IS.InstsAdded;
+  }
+  CompiledMethod *CM = finish(M, std::move(Code), Level, -1);
+  if (Level > M.CurOptLevel)
+    M.CurOptLevel = Level;
+  return CM;
+}
+
+CompiledMethod *OptCompiler::compileSpecial(MethodInfo &M, int Level,
+                                            const MutableClassPlan &CP,
+                                            size_t StateIdx) {
+  DCHM_CHECK(M.HasBody, "compiling a method without a body");
+  IRFunction Code = M.Bytecode;
+  specializeForState(Code, M, CP, StateIdx);
+  if (Level >= 2) {
+    Inliner Inl(P, InlineCfg, Olc, Plan);
+    Inl.run(Code, M);
+  }
+  return finish(M, std::move(Code), Level, static_cast<int>(StateIdx));
+}
+
+} // namespace dchm

@@ -1,0 +1,76 @@
+//===-- compiler/OptCompiler.h - The MiniVM compiler ----------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-only execution model of Jikes, in miniature. Methods are
+/// compiled at opt0 (a direct bytecode translation) on first invocation and
+/// recompiled at opt1/opt2 when hot. opt1 runs the scalar pipeline; opt2
+/// additionally inlines. Mutable methods recompiled at opt2 also get one
+/// specialized compiled version per hot state (the Specializer substitutes
+/// state-field constants and the pipeline collapses the residue).
+/// Compile-cycle and code-byte accounting feeds Figures 10 and 11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_COMPILER_OPTCOMPILER_H
+#define DCHM_COMPILER_OPTCOMPILER_H
+
+#include "compiler/Inliner.h"
+#include "compiler/Olc.h"
+#include "mutation/MutationPlan.h"
+#include "runtime/CompiledMethod.h"
+#include "runtime/Program.h"
+
+namespace dchm {
+
+/// Cumulative compiler activity over a run.
+struct CompilerStats {
+  uint64_t TotalCompileCycles = 0;
+  uint64_t SpecialCompileCycles = 0; ///< spent on specialized versions only
+  size_t TotalCodeBytes = 0;         ///< all compiled code ever generated
+  size_t SpecialCodeBytes = 0;       ///< specialized versions only
+  unsigned CompilesAtLevel[3] = {0, 0, 0};
+  unsigned SpecialCompiles = 0;
+  InlineStats Inlining;
+};
+
+/// Compiles MethodInfo bytecode into CompiledMethod artifacts.
+class OptCompiler {
+public:
+  explicit OptCompiler(Program &P) : P(P) {}
+
+  InlinerConfig &inlinerConfig() { return InlineCfg; }
+  /// Wires in OLC analysis results (enables specialization inlining).
+  void setOlcDatabase(const OlcDatabase *Db) { Olc = Db; }
+  /// Wires in the mutation plan (enables the trade-off heuristic and
+  /// specialized compilation).
+  void setPlan(const MutationPlan *Pl) { Plan = Pl; }
+
+  /// Compiles the general (unspecialized) version at the given level.
+  /// The returned object is owned by M; the caller installs it.
+  CompiledMethod *compileGeneral(MethodInfo &M, int Level);
+
+  /// Compiles the version specialized for hot state StateIdx of CP.
+  CompiledMethod *compileSpecial(MethodInfo &M, int Level,
+                                 const MutableClassPlan &CP, size_t StateIdx);
+
+  const CompilerStats &stats() const { return Stats; }
+
+private:
+  CompiledMethod *finish(MethodInfo &M, IRFunction Code, int Level,
+                         int StateIdx);
+
+  Program &P;
+  InlinerConfig InlineCfg;
+  const OlcDatabase *Olc = nullptr;
+  const MutationPlan *Plan = nullptr;
+  CompilerStats Stats;
+};
+
+} // namespace dchm
+
+#endif // DCHM_COMPILER_OPTCOMPILER_H

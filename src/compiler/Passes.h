@@ -1,0 +1,61 @@
+//===-- compiler/Passes.h - Optimization passes ---------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scalar optimization passes of the MiniVM optimizing compiler. These
+/// are the "conventional optimizations" the paper's class mutation unlocks:
+/// once the Specializer replaces state-field loads with constants, constant
+/// propagation, branch folding, dead-code elimination, and strength
+/// reduction collapse the state-dependent control flow (SalaryDB's grade
+/// if-chain reduces to a single update).
+///
+/// Every pass edits the function in place and returns true when it changed
+/// something. runOptPipeline() iterates them to a fixed point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_COMPILER_PASSES_H
+#define DCHM_COMPILER_PASSES_H
+
+#include "ir/Function.h"
+
+namespace dchm {
+
+/// Flow-sensitive constant propagation and folding over the CFG. Non-argument
+/// registers start as Const(0) at entry, matching the interpreter's
+/// zero-initialized frames. Folds arithmetic with constant operands and
+/// rewrites conditional branches whose condition is constant.
+bool runConstantPropagation(IRFunction &F);
+
+/// Block-local copy propagation (forwards Move sources into uses).
+bool runCopyPropagation(IRFunction &F);
+
+/// Algebraic simplification and strength reduction using block-local
+/// constant knowledge: x*2^k -> shl, x*1 -> move, x*0 -> 0, x+0 -> move,
+/// x&0 -> 0, x|0 -> move, x%1 -> 0, etc. Only semantics-preserving rewrites.
+bool runStrengthReduction(IRFunction &F);
+
+/// Removes branches to the textually next instruction and threads chains of
+/// unconditional branches.
+bool runBranchFolding(IRFunction &F);
+
+/// Removes side-effect-free instructions whose results are never used and
+/// instructions in unreachable blocks, then compacts the instruction list
+/// (renumbering branch targets).
+bool runDeadCodeElimination(IRFunction &F);
+
+/// Runs the full opt1+ pipeline to a fixed point (bounded iteration count).
+/// Returns the number of pass iterations that made progress.
+unsigned runOptPipeline(IRFunction &F);
+
+/// Shared helper: deletes the instructions flagged in Dead and remaps all
+/// branch targets. The final terminator must not be marked dead.
+void eraseDeadInstructions(IRFunction &F, const std::vector<bool> &Dead);
+
+} // namespace dchm
+
+#endif // DCHM_COMPILER_PASSES_H

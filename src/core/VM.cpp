@@ -1,0 +1,113 @@
+//===-- core/VM.cpp - The MiniVM facade ---------------------------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VM.h"
+
+#include "support/Debug.h"
+
+namespace dchm {
+
+VirtualMachine::VirtualMachine(Program &P, const VMOptions &Opts)
+    : P(P), Opts(Opts), TheHeap(Opts.HeapBytes), Compiler(P),
+      Adaptive(P, Compiler, Opts.Adaptive), Mutation(P) {
+  DCHM_CHECK(P.isLinked(), "VirtualMachine requires a linked program");
+  Compiler.inlinerConfig() = Opts.Inline;
+  Interp = std::make_unique<Interpreter>(P, TheHeap, *this);
+  TheHeap.setRootProvider(this);
+}
+
+void VirtualMachine::setMutationPlan(const MutationPlan *Plan) {
+  if (!Opts.EnableMutation || !Plan || Plan->empty())
+    return;
+  Mutation.installPlan(*Plan);
+  Adaptive.setPlan(Plan);
+  Adaptive.setRecompileListener(&Mutation);
+  Compiler.setPlan(Plan);
+  MutationActive = true;
+  // Online installation: methods that got hot before the plan existed need
+  // their specialized versions generated now.
+  Adaptive.refreshMutableMethods();
+}
+
+void VirtualMachine::setOlcDatabase(const OlcDatabase *Db) {
+  Compiler.setOlcDatabase(Db);
+}
+
+Value VirtualMachine::call(MethodId M, const std::vector<Value> &Args) {
+  return Interp->invoke(M, Args);
+}
+
+uint64_t VirtualMachine::totalCycles() const {
+  return Interp->stats().Cycles + Compiler.stats().TotalCompileCycles +
+         TheHeap.stats().GcCycles + Mutation.stats().ExtraCycles;
+}
+
+RunMetrics VirtualMachine::metrics() const {
+  RunMetrics M;
+  M.ExecCycles = Interp->stats().Cycles;
+  M.CompileCycles = Compiler.stats().TotalCompileCycles;
+  M.SpecialCompileCycles = Compiler.stats().SpecialCompileCycles;
+  M.GcCycles = TheHeap.stats().GcCycles;
+  M.MutationCycles = Mutation.stats().ExtraCycles;
+  M.TotalCycles = totalCycles();
+  M.CodeBytes = Compiler.stats().TotalCodeBytes;
+  M.SpecialCodeBytes = Compiler.stats().SpecialCodeBytes;
+  M.ClassTibBytes = P.classTibBytes();
+  M.SpecialTibBytes = P.specialTibBytes();
+  M.GcCount = TheHeap.stats().GcCount;
+  M.Insts = Interp->stats().Insts;
+  M.Invocations = Interp->stats().Invocations;
+  M.OutputHash = Interp->outputHash();
+  M.Mutation = Mutation.stats();
+  M.Adaptive = Adaptive.stats();
+  M.Inlining = Compiler.stats().Inlining;
+  return M;
+}
+
+CompiledMethod *VirtualMachine::ensureCompiled(MethodInfo &M) {
+  return Adaptive.ensureCompiled(M);
+}
+
+void VirtualMachine::onMethodEntry(MethodInfo &M) { Adaptive.onMethodEntry(M); }
+
+void VirtualMachine::onBackedge(MethodInfo &M) { Adaptive.onBackedge(M); }
+
+void VirtualMachine::onInstanceStateStore(Object *O, FieldInfo &F,
+                                          bool DuringConstruction) {
+  // Construction-time stores are handled by the constructor-exit action
+  // (Figure 4); acting on them would mutate half-initialized objects and
+  // pollute the value profile with partial tuples.
+  if (DuringConstruction)
+    return;
+  if (MutationActive)
+    Mutation.onInstanceStateStore(O, F);
+  if (Observer)
+    Observer->observeInstanceStore(O, F);
+}
+
+void VirtualMachine::onStaticStateStore(FieldInfo &F) {
+  if (MutationActive)
+    Mutation.onStaticStateStore(F);
+  if (Observer)
+    Observer->observeStaticStore(F);
+}
+
+void VirtualMachine::onConstructorExit(Object *O, MethodInfo &Ctor) {
+  if (MutationActive)
+    Mutation.onConstructorExit(O, Ctor);
+  if (Observer)
+    Observer->observeConstructorExit(O, Ctor);
+}
+
+void VirtualMachine::enumerateRoots(std::vector<Object *> &Roots) {
+  Interp->enumerateRoots(Roots);
+  for (uint32_t S = 0; S < P.numStaticSlots(); ++S)
+    if (P.staticSlotType(S) == Type::Ref && P.getStaticSlot(S).R)
+      Roots.push_back(P.getStaticSlot(S).R);
+}
+
+} // namespace dchm

@@ -1,0 +1,146 @@
+//===-- core/VM.h - The MiniVM facade -------------------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VirtualMachine wires the substrates together the way the paper's modified
+/// Jikes RVM does: the interpreter executes compiled code and reports events;
+/// the adaptive system compiles lazily and recompiles hot methods; the
+/// mutation engine (when enabled and given a plan) maintains the dynamically
+/// mutated class hierarchy; the heap collects with roots from the frames and
+/// the JTOC. This is the primary public entry point of the library:
+///
+/// \code
+///   Program P;            // build classes/methods with FunctionBuilder
+///   ...
+///   P.link();
+///   VirtualMachine VM(P, Options);
+///   VM.setMutationPlan(&Plan);            // from OfflinePipeline or by hand
+///   VM.call(MainMethod, {});
+///   RunMetrics M = VM.metrics();          // cycles, code bytes, TIB bytes
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_CORE_VM_H
+#define DCHM_CORE_VM_H
+
+#include "adaptive/AdaptiveSystem.h"
+#include "compiler/OptCompiler.h"
+#include "exec/Interpreter.h"
+#include "mutation/MutationManager.h"
+#include "runtime/Heap.h"
+#include "runtime/Program.h"
+
+#include <memory>
+
+namespace dchm {
+
+/// VM configuration for one run.
+struct VMOptions {
+  /// Master switch for dynamic class hierarchy mutation. With it off the
+  /// plan is ignored entirely — the baseline configuration of every
+  /// "without mutation" bar in the paper's figures.
+  bool EnableMutation = true;
+  size_t HeapBytes = 50u << 20; ///< Jikes' default 50 MB heap
+  AdaptiveConfig Adaptive;
+  InlinerConfig Inline;
+};
+
+/// Everything the experiment harness reads after (or during) a run.
+struct RunMetrics {
+  uint64_t ExecCycles = 0;
+  uint64_t CompileCycles = 0;
+  uint64_t SpecialCompileCycles = 0;
+  uint64_t GcCycles = 0;
+  uint64_t MutationCycles = 0;
+  uint64_t TotalCycles = 0; ///< sum of the above (the run's "time")
+  size_t CodeBytes = 0;
+  size_t SpecialCodeBytes = 0;
+  size_t ClassTibBytes = 0;
+  size_t SpecialTibBytes = 0;
+  uint64_t GcCount = 0;
+  uint64_t Insts = 0;
+  uint64_t Invocations = 0;
+  uint64_t OutputHash = 0;
+  MutationStats Mutation;
+  AdaptiveStats Adaptive;
+  InlineStats Inlining;
+};
+
+/// Passive observer of state-field events, used by the offline value
+/// profiler (Figure 3's "find hot states" step): it sees the same triggers
+/// the mutation engine would, without mutating anything.
+class StateObserver {
+public:
+  virtual ~StateObserver() = default;
+  virtual void observeInstanceStore(Object *O, FieldInfo &F) = 0;
+  // (construction-time stores are filtered out before observers run)
+  virtual void observeStaticStore(FieldInfo &F) = 0;
+  virtual void observeConstructorExit(Object *O, MethodInfo &Ctor) = 0;
+};
+
+/// The assembled MiniVM.
+class VirtualMachine : public VMCallbacks, public RootProvider {
+public:
+  VirtualMachine(Program &P, const VMOptions &Opts);
+
+  /// Installs the mutation plan (marks state fields, creates special TIBs).
+  /// Ignored when mutation is disabled. The plan must outlive the VM.
+  void setMutationPlan(const MutationPlan *Plan);
+
+  /// Wires OLC analysis results into the compiler (specialization inlining).
+  void setOlcDatabase(const OlcDatabase *Db);
+
+  /// Attaches a value-profiling observer. Fields must have IsStateField set
+  /// for the interpreter to report their stores (the profiler marks its
+  /// candidate fields on its own Program instance).
+  void setStateObserver(StateObserver *Obs) { Observer = Obs; }
+
+  /// Invokes a method (receiver first for instance methods).
+  Value call(MethodId M, const std::vector<Value> &Args);
+
+  /// Total simulated cycles so far: execution + compilation + GC +
+  /// mutation bookkeeping. The drivers use this as the clock.
+  uint64_t totalCycles() const;
+
+  RunMetrics metrics() const;
+
+  Program &program() { return P; }
+  Heap &heap() { return TheHeap; }
+  Interpreter &interp() { return *Interp; }
+  OptCompiler &compiler() { return Compiler; }
+  AdaptiveSystem &adaptive() { return Adaptive; }
+  MutationManager &mutation() { return Mutation; }
+  const VMOptions &options() const { return Opts; }
+
+  // --- VMCallbacks (interpreter events) ------------------------------------
+  CompiledMethod *ensureCompiled(MethodInfo &M) override;
+  void onMethodEntry(MethodInfo &M) override;
+  void onBackedge(MethodInfo &M) override;
+  void onInstanceStateStore(Object *O, FieldInfo &F,
+                            bool DuringConstruction) override;
+  void onStaticStateStore(FieldInfo &F) override;
+  void onConstructorExit(Object *O, MethodInfo &Ctor) override;
+
+  // --- RootProvider (frames + JTOC static reference slots) -----------------
+  void enumerateRoots(std::vector<Object *> &Roots) override;
+
+private:
+  Program &P;
+  VMOptions Opts;
+  Heap TheHeap;
+  OptCompiler Compiler;
+  AdaptiveSystem Adaptive;
+  MutationManager Mutation;
+  std::unique_ptr<Interpreter> Interp;
+  StateObserver *Observer = nullptr;
+  bool MutationActive = false;
+};
+
+} // namespace dchm
+
+#endif // DCHM_CORE_VM_H

@@ -1,0 +1,453 @@
+//===-- exec/Interpreter.cpp - Costed IR interpreter --------------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+
+#include "compiler/Eval.h"
+#include "runtime/CostModel.h"
+#include "support/Debug.h"
+
+#include <cstdio>
+
+namespace dchm {
+
+Interpreter::Interpreter(Program &P, Heap &H, VMCallbacks &CB)
+    : P(P), H(H), CB(CB) {
+  Frames.resize(MaxFrames);
+}
+
+void Interpreter::setProfiling(bool On) {
+  Profiling = On;
+  if (On) {
+    MethodCycles.assign(P.numMethods(), 0);
+    MethodInvocations.assign(P.numMethods(), 0);
+  }
+}
+
+void Interpreter::clearOutput() {
+  Output.clear();
+  OutHash = 1469598103934665603ull;
+}
+
+void Interpreter::appendOutput(const char *S, size_t Len) {
+  Output.append(S, Len);
+  for (size_t I = 0; I < Len; ++I) {
+    OutHash ^= static_cast<unsigned char>(S[I]);
+    OutHash *= 1099511628211ull;
+  }
+}
+
+void Interpreter::printValue(const Instruction &I, Value V) {
+  char Buf[64];
+  int Len;
+  if (I.Aux == 1) {
+    Buf[0] = static_cast<char>(V.I);
+    Len = 1;
+  } else if (I.Ty == Type::F64) {
+    Len = std::snprintf(Buf, sizeof(Buf), "%.6g", V.F);
+  } else {
+    Len = std::snprintf(Buf, sizeof(Buf), "%lld",
+                        static_cast<long long>(V.I));
+  }
+  appendOutput(Buf, static_cast<size_t>(Len));
+}
+
+void Interpreter::enumerateRoots(std::vector<Object *> &Roots) {
+  for (size_t D = 0; D < Depth; ++D) {
+    const Frame &F = Frames[D];
+    if (!F.Fn)
+      continue;
+    const auto &Types = F.Fn->RegTypes;
+    for (size_t R = 0; R < Types.size(); ++R)
+      if (Types[R] == Type::Ref && F.Regs[R].R)
+        Roots.push_back(F.Regs[R].R);
+  }
+}
+
+CompiledMethod *Interpreter::resolveInterface(TIB *T, MethodId IfaceMethod) {
+  DCHM_CHECK(T->Imt, "interface call on class with no IMT");
+  const ImtEntry &E = T->Imt->Slots[IfaceMethod % NumImtSlots];
+  switch (E.K) {
+  case ImtEntry::Kind::Direct: {
+    if (E.DirectCode)
+      return E.DirectCode;
+    MethodInfo &Impl = P.method(E.DirectImpl);
+    CB.ensureCompiled(Impl);
+    return E.DirectCode ? E.DirectCode : T->Slots[Impl.VSlot];
+  }
+  case ImtEntry::Kind::TibOffset:
+    return resolveAndEnsure(T, E.VSlot);
+  case ImtEntry::Kind::Conflict:
+    for (const auto &[IfaceM, Slot] : E.Table)
+      if (IfaceM == IfaceMethod)
+        return resolveAndEnsure(T, Slot);
+    DCHM_UNREACHABLE("conflict stub: method not found");
+  case ImtEntry::Kind::Empty:
+    break;
+  }
+  DCHM_UNREACHABLE("interface dispatch through empty IMT slot");
+}
+
+CompiledMethod *Interpreter::resolveAndEnsure(TIB *T, uint32_t Slot) {
+  CompiledMethod *CM = T->Slots[Slot];
+  if (CM)
+    return CM;
+  // Lazy compilation: resolve the method occupying this slot for the
+  // receiver's class and ask the broker; installation fills the TIBs.
+  MethodInfo &Resolved = P.method(T->Cls->VTable[Slot]);
+  CB.ensureCompiled(Resolved);
+  CM = T->Slots[Slot];
+  DCHM_CHECK(CM, "compile broker did not install code");
+  return CM;
+}
+
+Value Interpreter::invoke(MethodId Mid, const std::vector<Value> &Args) {
+  MethodInfo &M = P.method(Mid);
+  DCHM_CHECK(Args.size() == M.numArgsWithReceiver(), "invoke arg count");
+  CompiledMethod *CM;
+  if (M.Flags.IsStatic) {
+    CM = P.staticEntry(Mid);
+    if (!CM)
+      CM = CB.ensureCompiled(M);
+  } else {
+    Object *Recv = Args[0].R;
+    DCHM_CHECK(Recv && Recv->Tib, "invoke on null/invalid receiver");
+    if (P.cls(M.Owner).IsInterface) {
+      CM = resolveInterface(Recv->Tib, M.Id);
+    } else if (M.isVirtualDispatch()) {
+      CM = resolveAndEnsure(Recv->Tib, M.VSlot);
+    } else {
+      TIB *DeclTib = P.cls(M.Owner).ClassTib;
+      CM = DeclTib->Slots[M.VSlot];
+      if (!CM) {
+        CB.ensureCompiled(M);
+        CM = DeclTib->Slots[M.VSlot];
+      }
+    }
+  }
+  Value Result = execute(CM, Args.data(), Args.size());
+  if (M.Flags.IsCtor && !Args.empty())
+    CB.onConstructorExit(Args[0].R, M);
+  return Result;
+}
+
+Value Interpreter::execute(CompiledMethod *CM, const Value *Args,
+                           size_t NumArgs) {
+  DCHM_CHECK(Depth < MaxFrames, "VM stack overflow");
+  Frame &F = Frames[Depth++];
+  const IRFunction &Fn = CM->code();
+  MethodInfo &M = CM->method();
+  F.Fn = &Fn;
+  F.Regs.assign(Fn.RegTypes.size(), zeroValue());
+  DCHM_CHECK(NumArgs == Fn.NumArgs, "execute arg count mismatch");
+  for (size_t I = 0; I < NumArgs; ++I)
+    F.Regs[I] = Args[I];
+
+  Stats.Invocations++;
+  CB.onMethodEntry(M);
+  if (Profiling)
+    MethodInvocations[M.Id]++;
+
+  uint64_t C = 0; // local cycle accumulator, flushed on return
+  Value Ret = zeroValue();
+  size_t PC = 0;
+  const size_t N = Fn.Insts.size();
+
+  auto ArgBufCall = [&](const Instruction &I, CompiledMethod *Target) {
+    Value Buf[MaxArgs];
+    DCHM_CHECK(I.Args.size() <= MaxArgs, "too many call arguments");
+    for (size_t A = 0; A < I.Args.size(); ++A)
+      Buf[A] = F.Regs[I.Args[A]];
+    Value R = execute(Target, Buf, I.Args.size());
+    // "At the end of the constructors for a mutable class" (Figure 4): the
+    // ctor-exit trigger of the distributed mutation algorithm.
+    if (Target->method().Flags.IsCtor)
+      CB.onConstructorExit(Buf[0].R, Target->method());
+    return R;
+  };
+
+  while (true) {
+    DCHM_CHECK(PC < N, "PC out of range");
+    const Instruction &I = Fn.Insts[PC];
+    Stats.Insts++;
+    C += opcodeCycles(I.Op);
+
+    switch (I.Op) {
+    case Opcode::ConstI:
+      F.Regs[I.Dst] = valueI(I.Imm);
+      break;
+    case Opcode::ConstF:
+      F.Regs[I.Dst] = valueF(I.FImm);
+      break;
+    case Opcode::ConstNull:
+      F.Regs[I.Dst] = valueR(nullptr);
+      break;
+    case Opcode::Move:
+      F.Regs[I.Dst] = F.Regs[I.A];
+      break;
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+    case Opcode::CmpEQ:
+    case Opcode::CmpNE:
+    case Opcode::CmpLT:
+    case Opcode::CmpLE:
+    case Opcode::CmpGT:
+    case Opcode::CmpGE:
+    case Opcode::FCmpEQ:
+    case Opcode::FCmpLT:
+    case Opcode::FCmpLE:
+      F.Regs[I.Dst] = evalBinop(I.Op, F.Regs[I.A], F.Regs[I.B]);
+      break;
+
+    case Opcode::Neg:
+    case Opcode::FNeg:
+    case Opcode::I2F:
+    case Opcode::F2I:
+      F.Regs[I.Dst] = evalUnop(I.Op, F.Regs[I.A]);
+      break;
+
+    case Opcode::Br:
+      if (static_cast<size_t>(I.Imm) <= PC)
+        CB.onBackedge(M);
+      PC = static_cast<size_t>(I.Imm);
+      continue;
+    case Opcode::Cbnz:
+      if (F.Regs[I.A].I != 0) {
+        if (static_cast<size_t>(I.Imm) <= PC)
+          CB.onBackedge(M);
+        PC = static_cast<size_t>(I.Imm);
+        continue;
+      }
+      break;
+    case Opcode::Cbz:
+      if (F.Regs[I.A].I == 0) {
+        if (static_cast<size_t>(I.Imm) <= PC)
+          CB.onBackedge(M);
+        PC = static_cast<size_t>(I.Imm);
+        continue;
+      }
+      break;
+    case Opcode::Ret:
+      if (I.A != NoReg)
+        Ret = F.Regs[I.A];
+      goto done;
+
+    case Opcode::New: {
+      ClassInfo &Cls = P.cls(static_cast<ClassId>(I.Imm));
+      F.Regs[I.Dst] = valueR(H.allocateInstance(Cls, Cls.ClassTib));
+      break;
+    }
+    case Opcode::NewArray:
+      F.Regs[I.Dst] = valueR(H.allocateArray(I.Ty, F.Regs[I.A].I));
+      break;
+    case Opcode::ALoad: {
+      Object *Arr = F.Regs[I.A].R;
+      DCHM_CHECK(Arr && Arr->IsArray, "aload on non-array");
+      int64_t Idx = F.Regs[I.B].I;
+      DCHM_CHECK(Idx >= 0 && Idx < Arr->NumSlots, "array index out of bounds");
+      F.Regs[I.Dst] = Arr->get(static_cast<uint32_t>(Idx));
+      break;
+    }
+    case Opcode::AStore: {
+      Object *Arr = F.Regs[I.A].R;
+      DCHM_CHECK(Arr && Arr->IsArray, "astore on non-array");
+      int64_t Idx = F.Regs[I.B].I;
+      DCHM_CHECK(Idx >= 0 && Idx < Arr->NumSlots, "array index out of bounds");
+      Arr->set(static_cast<uint32_t>(Idx), F.Regs[I.C]);
+      break;
+    }
+    case Opcode::ALen: {
+      Object *Arr = F.Regs[I.A].R;
+      DCHM_CHECK(Arr && Arr->IsArray, "alen on non-array");
+      F.Regs[I.Dst] = valueI(Arr->NumSlots);
+      break;
+    }
+
+    case Opcode::GetField: {
+      Object *O = F.Regs[I.A].R;
+      DCHM_CHECK(O, "null pointer in getfield");
+      F.Regs[I.Dst] = O->get(I.Aux);
+      break;
+    }
+    case Opcode::PutField: {
+      Object *O = F.Regs[I.A].R;
+      DCHM_CHECK(O, "null pointer in putfield");
+      O->set(I.Aux, F.Regs[I.B]);
+      FieldInfo &Fld = P.field(static_cast<FieldId>(I.Imm));
+      if (Fld.IsStateField) {
+        // Patch code inserted at state-field assignments (algorithm part I).
+        // Stores a constructor makes to its own object are deferred to the
+        // constructor-exit action (Figure 4 patches "assignments in a
+        // non-constructor method" plus the end of constructors).
+        bool DuringCtor = M.Flags.IsCtor && O == F.Regs[0].R;
+        if (!DuringCtor) {
+          C += DispatchCost::StateFieldPatchBase;
+          Stats.StatePatchHits++;
+        }
+        CB.onInstanceStateStore(O, Fld, DuringCtor);
+      }
+      break;
+    }
+    case Opcode::GetStatic:
+      F.Regs[I.Dst] = P.getStaticSlot(I.Aux);
+      break;
+    case Opcode::PutStatic: {
+      P.setStaticSlot(I.Aux, F.Regs[I.A]);
+      FieldInfo &Fld = P.field(static_cast<FieldId>(I.Imm));
+      if (Fld.IsStateField) {
+        C += DispatchCost::StateFieldPatchBase;
+        Stats.StatePatchHits++;
+        CB.onStaticStateStore(Fld);
+      }
+      break;
+    }
+
+    case Opcode::CallStatic: {
+      C += DispatchCost::StaticCall;
+      MethodInfo &Callee = P.method(static_cast<MethodId>(I.Imm));
+      CompiledMethod *Target = P.staticEntry(Callee.Id);
+      if (!Target)
+        Target = CB.ensureCompiled(Callee);
+      Value R = ArgBufCall(I, Target);
+      if (I.Dst != NoReg)
+        F.Regs[I.Dst] = R;
+      break;
+    }
+    case Opcode::CallVirtual: {
+      C += DispatchCost::VirtualCall;
+      Stats.VirtualCalls++;
+      Object *Recv = F.Regs[I.Args[0]].R;
+      DCHM_CHECK(Recv && Recv->Tib, "null receiver in callvirtual");
+      CompiledMethod *Target = resolveAndEnsure(Recv->Tib, I.Aux);
+      Value R = ArgBufCall(I, Target);
+      if (I.Dst != NoReg)
+        F.Regs[I.Dst] = R;
+      break;
+    }
+    case Opcode::CallSpecial: {
+      // Static binding through the *declaring class* TIB (invokespecial):
+      // object state never affects this dispatch, but a static-only mutable
+      // class may have specialized its class TIB entry itself.
+      C += DispatchCost::SpecialCall;
+      MethodInfo &Callee = P.method(static_cast<MethodId>(I.Imm));
+      DCHM_CHECK(F.Regs[I.Args[0]].R, "null receiver in callspecial");
+      TIB *DeclTib = P.cls(Callee.Owner).ClassTib;
+      CompiledMethod *Target = DeclTib->Slots[I.Aux];
+      if (!Target) {
+        CB.ensureCompiled(Callee);
+        Target = DeclTib->Slots[I.Aux];
+        DCHM_CHECK(Target, "compile broker did not install code");
+      }
+      Value R = ArgBufCall(I, Target);
+      if (I.Dst != NoReg)
+        F.Regs[I.Dst] = R;
+      break;
+    }
+    case Opcode::CallInterface: {
+      C += DispatchCost::InterfaceCall;
+      Stats.InterfaceCalls++;
+      Object *Recv = F.Regs[I.Args[0]].R;
+      DCHM_CHECK(Recv && Recv->Tib, "null receiver in callinterface");
+      TIB *T = Recv->Tib;
+      DCHM_CHECK(T->Imt, "interface call on class with no IMT");
+      const ImtEntry &E = T->Imt->Slots[I.Aux];
+      CompiledMethod *Target = nullptr;
+      switch (E.K) {
+      case ImtEntry::Kind::Direct:
+        Target = E.DirectCode;
+        if (!Target) {
+          CB.ensureCompiled(P.method(E.DirectImpl));
+          Target = E.DirectCode ? E.DirectCode
+                                : T->Slots[P.method(E.DirectImpl).VSlot];
+        }
+        break;
+      case ImtEntry::Kind::TibOffset:
+        // Mutable-class slot: one extra load through the current TIB so the
+        // dispatch honors the object's (special) TIB.
+        C += DispatchCost::ImtMutableExtraLoad;
+        Target = resolveAndEnsure(T, E.VSlot);
+        break;
+      case ImtEntry::Kind::Conflict: {
+        C += DispatchCost::ImtConflictStub;
+        uint32_t VSlot = UINT32_MAX;
+        for (const auto &[IfaceM, Slot] : E.Table) {
+          if (IfaceM == static_cast<MethodId>(I.Imm)) {
+            VSlot = Slot;
+            break;
+          }
+        }
+        DCHM_CHECK(VSlot != UINT32_MAX, "conflict stub: method not found");
+        Target = resolveAndEnsure(T, VSlot);
+        break;
+      }
+      case ImtEntry::Kind::Empty:
+        DCHM_UNREACHABLE("interface dispatch through empty IMT slot");
+      }
+      DCHM_CHECK(Target, "interface dispatch found no code");
+      Value R = ArgBufCall(I, Target);
+      if (I.Dst != NoReg)
+        F.Regs[I.Dst] = R;
+      break;
+    }
+
+    case Opcode::InstanceOf: {
+      // Type test via the TIB's type-information entry, never TIB identity
+      // (special TIBs share the class's type info; paper section 3.2.3).
+      Object *O = F.Regs[I.A].R;
+      bool Is = O && !O->IsArray &&
+                P.isSubtype(O->Tib->Cls->Id, static_cast<ClassId>(I.Imm));
+      F.Regs[I.Dst] = valueI(Is);
+      break;
+    }
+    case Opcode::ClassEq: {
+      // Exact-class guard (guarded inlining): type-information entry, so
+      // special TIBs compare equal to their class.
+      Object *O = F.Regs[I.A].R;
+      F.Regs[I.Dst] = valueI(O && !O->IsArray &&
+                             O->Tib->Cls->Id == static_cast<ClassId>(I.Imm));
+      break;
+    }
+    case Opcode::CheckCast: {
+      Object *O = F.Regs[I.A].R;
+      if (O) {
+        DCHM_CHECK(!O->IsArray, "checkcast on array");
+        DCHM_CHECK(P.isSubtype(O->Tib->Cls->Id, static_cast<ClassId>(I.Imm)),
+                   "ClassCastException");
+      }
+      break;
+    }
+
+    case Opcode::Print:
+      printValue(I, F.Regs[I.A]);
+      break;
+    }
+    ++PC;
+  }
+
+done:
+  Stats.Cycles += C;
+  if (Profiling)
+    MethodCycles[M.Id] += C;
+  F.Fn = nullptr;
+  --Depth;
+  return Ret;
+}
+
+} // namespace dchm

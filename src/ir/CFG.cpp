@@ -1,0 +1,209 @@
+//===-- ir/CFG.cpp - Control-flow analysis ---------------------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+namespace dchm {
+
+CFG::CFG(const IRFunction &F) {
+  buildBlocks(F);
+  computeDominators();
+  computeLoops();
+}
+
+void CFG::buildBlocks(const IRFunction &F) {
+  const size_t N = F.Insts.size();
+  DCHM_CHECK(N > 0, "CFG over empty function");
+
+  // Mark leaders: entry, branch targets, and fall-through successors of
+  // branches/terminators.
+  std::vector<bool> Leader(N, false);
+  Leader[0] = true;
+  for (size_t I = 0; I < N; ++I) {
+    const Instruction &Inst = F.Insts[I];
+    if (isBranch(Inst.Op)) {
+      DCHM_CHECK(static_cast<size_t>(Inst.Imm) < N, "branch target range");
+      Leader[static_cast<size_t>(Inst.Imm)] = true;
+    }
+    if ((isBranch(Inst.Op) || isTerminator(Inst.Op)) && I + 1 < N)
+      Leader[I + 1] = true;
+  }
+
+  InstToBlock.assign(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    if (Leader[I]) {
+      BasicBlock BB;
+      BB.Begin = static_cast<uint32_t>(I);
+      Blocks.push_back(BB);
+    }
+    InstToBlock[I] = static_cast<uint32_t>(Blocks.size() - 1);
+  }
+  for (size_t B = 0; B < Blocks.size(); ++B)
+    Blocks[B].End = B + 1 < Blocks.size() ? Blocks[B + 1].Begin
+                                          : static_cast<uint32_t>(N);
+
+  // Successor edges from each block's final instruction.
+  for (size_t B = 0; B < Blocks.size(); ++B) {
+    const Instruction &Last = F.Insts[Blocks[B].End - 1];
+    auto AddEdge = [&](uint32_t To) {
+      Blocks[B].Succs.push_back(To);
+      Blocks[To].Preds.push_back(static_cast<uint32_t>(B));
+    };
+    switch (Last.Op) {
+    case Opcode::Br:
+      AddEdge(InstToBlock[static_cast<size_t>(Last.Imm)]);
+      break;
+    case Opcode::Cbnz:
+    case Opcode::Cbz:
+      AddEdge(InstToBlock[static_cast<size_t>(Last.Imm)]);
+      if (Blocks[B].End < N)
+        AddEdge(InstToBlock[Blocks[B].End]);
+      break;
+    case Opcode::Ret:
+      break;
+    default:
+      // Fall-through into the next block.
+      DCHM_CHECK(Blocks[B].End < N, "function falls off the end");
+      AddEdge(InstToBlock[Blocks[B].End]);
+      break;
+    }
+  }
+}
+
+void CFG::computeDominators() {
+  const size_t NB = Blocks.size();
+  // Reverse postorder over reachable blocks.
+  std::vector<uint32_t> Postorder;
+  Postorder.reserve(NB);
+  std::vector<uint8_t> State(NB, 0); // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.emplace_back(0, 0);
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    if (NextSucc < Blocks[B].Succs.size()) {
+      uint32_t S = Blocks[B].Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    State[B] = 2;
+    Postorder.push_back(B);
+    Stack.pop_back();
+  }
+
+  Reachable.assign(NB, false);
+  for (uint32_t B : Postorder)
+    Reachable[B] = true;
+
+  RpoNumber.assign(NB, 0);
+  std::vector<uint32_t> Rpo(Postorder.rbegin(), Postorder.rend());
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoNumber[Rpo[I]] = static_cast<uint32_t>(I);
+
+  // Cooper-Harvey-Kennedy iterative dominance.
+  constexpr uint32_t Undef = 0xFFFFFFFF;
+  Idom.assign(NB, Undef);
+  Idom[0] = 0;
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B])
+        A = Idom[A];
+      while (RpoNumber[B] > RpoNumber[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : Rpo) {
+      if (B == 0)
+        continue;
+      uint32_t NewIdom = Undef;
+      for (uint32_t P : Blocks[B].Preds) {
+        if (!Reachable[P] || Idom[P] == Undef)
+          continue;
+        NewIdom = NewIdom == Undef ? P : Intersect(NewIdom, P);
+      }
+      if (NewIdom != Undef && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  // Unreachable blocks: park their idom at the entry so queries stay safe.
+  for (size_t B = 0; B < NB; ++B)
+    if (Idom[B] == Undef)
+      Idom[B] = 0;
+}
+
+bool CFG::dominates(uint32_t A, uint32_t B) const {
+  if (!Reachable[B])
+    return false;
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == 0)
+      return false;
+    uint32_t Next = Idom[B];
+    if (Next == B)
+      return false;
+    B = Next;
+  }
+}
+
+void CFG::computeLoops() {
+  const size_t NB = Blocks.size();
+  LoopDepthOfBlock.assign(NB, 0);
+  // Natural loop of each back edge U -> H (H dominates U): flood backwards
+  // from U until H; each block's depth counts the distinct loop headers
+  // whose loops contain it.
+  std::vector<std::vector<uint32_t>> LoopHeadersOfBlock(NB);
+  for (uint32_t U = 0; U < NB; ++U) {
+    if (!Reachable[U])
+      continue;
+    for (uint32_t H : Blocks[U].Succs) {
+      if (!dominates(H, U))
+        continue;
+      ++NumLoops;
+      std::vector<uint32_t> Work{U};
+      std::vector<bool> InLoop(NB, false);
+      InLoop[H] = true;
+      InLoop[U] = true;
+      while (!Work.empty()) {
+        uint32_t B = Work.back();
+        Work.pop_back();
+        if (B == H)
+          continue;
+        for (uint32_t P : Blocks[B].Preds) {
+          if (!InLoop[P] && Reachable[P]) {
+            InLoop[P] = true;
+            Work.push_back(P);
+          }
+        }
+      }
+      for (uint32_t B = 0; B < NB; ++B) {
+        if (!InLoop[B])
+          continue;
+        auto &Hdrs = LoopHeadersOfBlock[B];
+        if (std::find(Hdrs.begin(), Hdrs.end(), H) == Hdrs.end())
+          Hdrs.push_back(H);
+      }
+    }
+  }
+  for (uint32_t B = 0; B < NB; ++B)
+    LoopDepthOfBlock[B] = static_cast<uint32_t>(LoopHeadersOfBlock[B].size());
+}
+
+} // namespace dchm

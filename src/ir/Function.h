@@ -1,0 +1,47 @@
+//===-- ir/Function.h - MiniVM IR function --------------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRFunction is the unit of compilation: the "bytecode" attached to a
+/// MethodInfo, and also the body of every CompiledMethod the optimizer
+/// produces (the MiniVM "machine code" is optimized IR executed by a
+/// costed interpreter; see exec/Interpreter.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_IR_FUNCTION_H
+#define DCHM_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace dchm {
+
+/// A function body in MiniVM IR.
+struct IRFunction {
+  std::string Name;
+  Type RetTy = Type::Void;
+  /// Number of leading registers that are arguments (receiver first for
+  /// instance methods). Argument registers are never reassigned by
+  /// FunctionBuilder-produced code; the Specializer relies on register 0
+  /// (`this`) being immutable.
+  uint16_t NumArgs = 0;
+  /// Types of all registers, arguments included.
+  std::vector<Type> RegTypes;
+  std::vector<Instruction> Insts;
+
+  uint16_t numRegs() const { return static_cast<uint16_t>(RegTypes.size()); }
+
+  /// Render the function as text for debugging and golden tests.
+  std::string toString() const;
+};
+
+} // namespace dchm
+
+#endif // DCHM_IR_FUNCTION_H

@@ -1,0 +1,33 @@
+//===-- ir/Ids.h - Symbolic program entity ids -----------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer ids naming classes, fields, and methods. The IR references
+/// program entities symbolically through these (like constant-pool indices
+/// in Java bytecode); the runtime linker resolves them to slots and offsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_IR_IDS_H
+#define DCHM_IR_IDS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace dchm {
+
+using ClassId = uint32_t;
+using FieldId = uint32_t;
+using MethodId = uint32_t;
+
+constexpr ClassId NoClassId = std::numeric_limits<ClassId>::max();
+constexpr FieldId NoFieldId = std::numeric_limits<FieldId>::max();
+constexpr MethodId NoMethodId = std::numeric_limits<MethodId>::max();
+
+} // namespace dchm
+
+#endif // DCHM_IR_IDS_H

@@ -1,0 +1,66 @@
+//===-- ir/Instruction.h - MiniVM IR instruction --------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single flat instruction record. The IR is a linear list of these per
+/// function; branch targets are instruction indices, so "basic blocks" are
+/// derived views (see CFG.h) rather than owning containers. This keeps the
+/// interpreter a simple indexed loop and makes cloning for specialization
+/// (the core mutation operation) a plain vector copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_IR_INSTRUCTION_H
+#define DCHM_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dchm {
+
+/// Virtual register index within a function.
+using Reg = uint16_t;
+
+/// Sentinel meaning "no register" (e.g. void Ret, no destination).
+constexpr Reg NoReg = std::numeric_limits<Reg>::max();
+
+/// One MiniVM IR instruction.
+///
+/// Field usage by opcode family:
+///  - arithmetic/compare: Dst, A, B (Neg/FNeg/Move/conversions use A only)
+///  - ConstI: Dst, Imm; ConstF: Dst, FImm
+///  - branches: Imm = target instruction index; Cbnz/Cbz also read A
+///  - field ops: Imm = FieldId, Aux = resolved slot; A = object, B = value
+///  - calls: Imm = MethodId, Aux = resolved dispatch slot, Args = arguments
+///  - New/InstanceOf/CheckCast: Imm = ClassId
+///  - NewArray/ALoad/AStore: Ty = element type
+struct Instruction {
+  Opcode Op;
+  Type Ty = Type::I64; ///< Result type, or element type for array ops.
+  Reg Dst = NoReg;
+  Reg A = NoReg;
+  Reg B = NoReg;
+  Reg C = NoReg;
+  int64_t Imm = 0;
+  double FImm = 0.0;
+  uint32_t Aux = 0;
+  /// Set by the guarded inliner on its slow-path call: this site must never
+  /// be considered for inlining again (it would be re-guarded forever).
+  bool NoInline = false;
+  std::vector<Reg> Args; ///< Call arguments; empty for non-calls.
+
+  /// True if this instruction writes a register.
+  bool hasDst() const { return Dst != NoReg; }
+};
+
+} // namespace dchm
+
+#endif // DCHM_IR_INSTRUCTION_H

@@ -1,0 +1,48 @@
+//===-- ir/Type.h - MiniVM value types ------------------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniVM IR is typed with a deliberately small lattice: 64-bit signed
+/// integers, 64-bit floats, and object references. This is enough to express
+/// every benchmark in the paper (Java's narrower primitive types are modeled
+/// as I64; `double salary` maps to F64; objects and arrays map to Ref).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_IR_TYPE_H
+#define DCHM_IR_TYPE_H
+
+#include <cstdint>
+
+namespace dchm {
+
+/// Value type of an IR register, field, or array element.
+enum class Type : uint8_t {
+  Void, ///< No value (method return type only).
+  I64,  ///< 64-bit signed integer (also used for booleans and chars).
+  F64,  ///< 64-bit IEEE double.
+  Ref,  ///< Reference to a heap object or array (nullable).
+};
+
+/// Human-readable name for a type, for printers and diagnostics.
+inline const char *typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::I64:
+    return "i64";
+  case Type::F64:
+    return "f64";
+  case Type::Ref:
+    return "ref";
+  }
+  return "<bad-type>";
+}
+
+} // namespace dchm
+
+#endif // DCHM_IR_TYPE_H

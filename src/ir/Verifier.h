@@ -1,0 +1,36 @@
+//===-- ir/Verifier.h - IR structural verifier ----------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type checks over a single IRFunction. Run on every
+/// user-built method body when a Program is linked, and (in tests) on the
+/// output of every optimizer pass. Cross-entity checks (field/method ids,
+/// argument counts against signatures) live in runtime/Program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_IR_VERIFIER_H
+#define DCHM_IR_VERIFIER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace dchm {
+
+/// Verifies one function. Returns an empty string when the function is
+/// well-formed, otherwise a description of the first problem found.
+///
+/// Checks: register indices and types per opcode, branch targets in range,
+/// final instruction is a terminator, and that argument registers are never
+/// reassigned (the Specializer folds `this`-relative field loads and relies
+/// on register 0 staying bound to the receiver).
+std::string verifyFunction(const IRFunction &F);
+
+} // namespace dchm
+
+#endif // DCHM_IR_VERIFIER_H

@@ -1,0 +1,107 @@
+//===-- mutation/MutationManager.h - Dynamic class mutation ---*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core of the paper: the runtime engine that dynamically mutates the
+/// class hierarchy. Installing a MutationPlan creates one special TIB per
+/// hot state of every mutable class that depends on instance state fields
+/// (a replicant of the class TIB) and rewires single-method IMT slots of
+/// mutable classes to TIB offsets. At runtime it executes the *distributed
+/// dynamic class mutation algorithm*:
+///
+///  - Part I (Figure 4), triggered at state-field assignments and
+///    constructor exits: re-point an object's TIB pointer to the special
+///    TIB matching its instance state (or back to the class TIB), and on
+///    static state-field assignments re-point the compiled-code pointers in
+///    special TIBs / the class TIB / the JTOC between general and special
+///    code depending on whether the static state matches a hot state.
+///
+///  - Part II (Figure 5), triggered when the adaptive system recompiles a
+///    mutable method at a high optimization level: route the fresh special
+///    compiled code into the special TIBs (or the class TIB for classes
+///    that depend only on static fields, which also covers private methods;
+///    or the JTOC for static methods), with general code propagated to
+///    subclasses by the installer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_MUTATION_MUTATIONMANAGER_H
+#define DCHM_MUTATION_MUTATIONMANAGER_H
+
+#include "adaptive/AdaptiveSystem.h"
+#include "mutation/MutationPlan.h"
+#include "runtime/Heap.h"
+#include "runtime/Object.h"
+#include "runtime/Program.h"
+
+namespace dchm {
+
+/// Mutation activity counters (Figure 12's TIB accounting comes from the
+/// Program; these feed the overhead discussion).
+struct MutationStats {
+  uint64_t ObjectTibSwings = 0;    ///< object TIB pointer re-points
+  uint64_t CodePointerUpdates = 0; ///< TIB/JTOC code pointer re-points
+  uint64_t StateMatches = 0;       ///< part I checks that matched a hot state
+  uint64_t StateMisses = 0;        ///< part I checks that matched nothing
+  uint64_t ExtraCycles = 0;        ///< simulated cost of all of the above
+};
+
+/// Runtime engine for dynamic class hierarchy mutation.
+class MutationManager : public RecompileListener {
+public:
+  explicit MutationManager(Program &P) : P(P) {}
+
+  /// Installs the plan: marks state fields and mutable methods, creates the
+  /// special TIBs, and rewires mutable classes' IMT slots. Must run before
+  /// execution starts (the paper feeds the plan to the JVM at startup).
+  void installPlan(const MutationPlan &Plan);
+
+  const MutationPlan *plan() const { return Installed; }
+
+  // --- Algorithm part I triggers (called from the interpreter hooks) ------
+  void onInstanceStateStore(Object *O, FieldInfo &F);
+  void onStaticStateStore(FieldInfo &F);
+  void onConstructorExit(Object *O, MethodInfo &Ctor);
+
+  /// Online-activation support: when a plan is installed mid-run, objects
+  /// constructed earlier are still on their class TIBs even if their state
+  /// matches a hot state. This stop-the-world heap pass re-classes them —
+  /// the online analogue of the constructor-exit action, piggybacking on
+  /// the collector's object walk (the paper avoids a pointer registry
+  /// because the Jikes GC moves objects; a walk at a safepoint is safe).
+  /// Returns the number of objects migrated to special TIBs.
+  uint64_t migrateExistingObjects(Heap &H);
+
+  // --- Algorithm part II (RecompileListener) --------------------------------
+  void onMutableMethodRecompiled(MethodInfo &M) override;
+
+  const MutationStats &stats() const { return Stats; }
+
+private:
+  /// Index of the hot state whose *instance* part matches O's current field
+  /// values, or -1.
+  int matchInstanceState(const MutableClassPlan &CP, Object *O);
+  /// True when the current static field values match hot state S's static
+  /// part (vacuously true when the class has no static state fields).
+  bool staticPartMatches(const MutableClassPlan &CP, size_t S) const;
+  /// Index of some hot state whose static part matches, or -1.
+  int anyStaticMatch(const MutableClassPlan &CP) const;
+  /// Re-points every dispatch-structure entry for mutable method M of CP
+  /// according to the current static state (the common core of part II and
+  /// the static branch of part I).
+  void refreshMethodPointers(const MutableClassPlan &CP, MethodInfo &M);
+  void swingObjectTib(Object *O, TIB *To);
+  void updateCodePointer(CompiledMethod *&SlotRef, CompiledMethod *To);
+
+  Program &P;
+  const MutationPlan *Installed = nullptr;
+  MutationStats Stats;
+};
+
+} // namespace dchm
+
+#endif // DCHM_MUTATION_MUTATIONMANAGER_H

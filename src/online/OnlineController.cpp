@@ -1,0 +1,115 @@
+//===-- online/OnlineController.cpp - Fully-online mutation --------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "online/OnlineController.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+namespace dchm {
+
+OnlineMutationController::OnlineMutationController(VirtualMachine &VM,
+                                                   Config Cfg)
+    : VM(VM), Cfg(Cfg) {
+  DCHM_CHECK(VM.options().EnableMutation,
+             "online controller needs a mutation-enabled VM");
+  // Phase 1 begins immediately: per-method cycle attribution on.
+  VM.interp().setProfiling(true);
+  PhaseStartCycles = VM.totalCycles();
+}
+
+void OnlineMutationController::poll() {
+  switch (CurPhase) {
+  case Phase::HotProfiling:
+    if (VM.totalCycles() - PhaseStartCycles >= Cfg.HotProfileCycles)
+      finishHotProfiling();
+    break;
+  case Phase::ValueProfiling:
+    if (VM.totalCycles() - PhaseStartCycles >= Cfg.ValueProfileCycles)
+      activate();
+    break;
+  case Phase::Active:
+  case Phase::Inert:
+    break;
+  }
+}
+
+void OnlineMutationController::finishHotProfiling() {
+  Program &P = VM.program();
+  Profile = HotMethodProfile::fromInterpreter(VM.interp(), P);
+  // Turn the (modeled-free, really-cheap) cycle attribution off; the value
+  // profiler uses the state-store hooks instead.
+  VM.interp().setProfiling(false);
+
+  // Lightweight static analysis over the bytecode (EQ 1). Bytecode is
+  // retained by every MethodInfo, so this works as well online as offline.
+  Candidates = analyzeStateFields(P, Profile, Cfg.Analysis.StateFields);
+  if (Candidates.empty()) {
+    CurPhase = Phase::Inert; // nothing worth mutating; stand down
+    return;
+  }
+
+  // Mark candidate fields and start sampling their joint values through
+  // the same interpreter hooks algorithm part I will use later.
+  VP = std::make_unique<ValueProfiler>(P, Candidates,
+                                       Cfg.Analysis.MaxFieldsPerClass);
+  VP->prepare();
+  VM.setStateObserver(VP.get());
+  CurPhase = Phase::ValueProfiling;
+  PhaseStartCycles = VM.totalCycles();
+}
+
+void OnlineMutationController::activate() {
+  Program &P = VM.program();
+  VM.setStateObserver(nullptr);
+  // Heap census: objects whose state was set before the value-profiling
+  // window opened (e.g. a database populated at startup) would otherwise
+  // be invisible to store sampling.
+  VP->censusHeap(VM.heap());
+  auto Mined = VP->mine(Cfg.Analysis.HotStateMinFraction,
+                        Cfg.Analysis.MaxHotStates);
+  Plan = assembleMutationPlan(P, Profile, Mined, Cfg.Analysis);
+
+  // Candidate fields that did not make the plan keep no patch code: clear
+  // their state-field marks (installPlan re-marks the plan's fields).
+  for (const ClassStateFields &CSF : Candidates)
+    for (const StateFieldCandidate &Cand : CSF.Candidates) {
+      bool InPlan = false;
+      for (const MutableClassPlan &CP : Plan.Classes) {
+        InPlan |= std::find(CP.InstanceStateFields.begin(),
+                            CP.InstanceStateFields.end(),
+                            Cand.Field) != CP.InstanceStateFields.end();
+        InPlan |= std::find(CP.StaticStateFields.begin(),
+                            CP.StaticStateFields.end(),
+                            Cand.Field) != CP.StaticStateFields.end();
+      }
+      if (!InPlan)
+        P.field(Cand.Field).IsStateField = false;
+    }
+
+  if (Plan.empty()) {
+    CurPhase = Phase::Inert;
+    return;
+  }
+  if (Cfg.DeriveOlc) {
+    Olc = analyzeObjectLifetimeConstants(P, Plan);
+    VM.setOlcDatabase(&Olc);
+  }
+  // Mid-run installation: creates the special TIBs, marks mutable methods,
+  // rewires IMT slots, and recompiles already-hot mutable methods so their
+  // specialized versions exist (VirtualMachine::setMutationPlan handles the
+  // refresh). Live objects migrate at their next state-field store.
+  VM.setMutationPlan(&Plan);
+  // Stop-the-world re-class pass: objects constructed before activation
+  // migrate to the special TIB matching their current state.
+  VM.mutation().migrateExistingObjects(VM.heap());
+  ActivationCycle = VM.totalCycles();
+  CurPhase = Phase::Active;
+}
+
+} // namespace dchm

@@ -1,0 +1,98 @@
+//===-- online/OnlineController.h - Fully-online mutation -----*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work direction, implemented (section 9): "we will try
+/// to move our offline profiling and static analysis to a JVM ... this will
+/// require the development of efficient profiling schemes and light weight
+/// static analysis algorithms."
+///
+/// OnlineMutationController runs the whole Figure 3 pipeline *inside* a
+/// single VM run, in phases driven by the application's own execution:
+///
+///   HotProfiling     — the interpreter attributes cycles per method (the
+///                      in-VM replacement for VTune) for a warm-up window.
+///   ValueProfiling   — EQ 1 runs over the bytecode, candidate fields are
+///                      marked, and the value profiler samples their joint
+///                      values through the regular state-store hooks.
+///   Active           — hot states are mined, the plan is assembled and
+///                      installed mid-run: special TIBs appear, mutable
+///                      methods that are already at opt2 are recompiled to
+///                      generate their specialized versions, the OLC
+///                      database is computed, and execution continues with
+///                      the dynamically mutated hierarchy. Objects migrate
+///                      to special TIBs at their next state-field store or
+///                      construction.
+///
+/// The driver calls poll() at convenient boundaries (e.g., between
+/// transaction batches); phase transitions happen there, so no extra thread
+/// is needed — mirroring how Jikes' adaptive system piggybacks on yield
+/// points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_ONLINE_ONLINECONTROLLER_H
+#define DCHM_ONLINE_ONLINECONTROLLER_H
+
+#include "analysis/OfflinePipeline.h"
+#include "analysis/OlcAnalysis.h"
+#include "core/VM.h"
+
+#include <memory>
+
+namespace dchm {
+
+/// Drives the in-VM (online) version of the Figure 3 pipeline.
+class OnlineMutationController {
+public:
+  struct Config {
+    /// Simulated cycles of hot-method profiling before the static analysis.
+    uint64_t HotProfileCycles = 2'000'000;
+    /// Simulated cycles of joint-value profiling before plan assembly.
+    uint64_t ValueProfileCycles = 2'000'000;
+    /// Analysis thresholds (shared with the offline pipeline).
+    OfflineConfig Analysis;
+    /// Also run the OLC analysis at activation (enables specialization
+    /// inlining for methods compiled after that point).
+    bool DeriveOlc = true;
+  };
+
+  enum class Phase { HotProfiling, ValueProfiling, Active, Inert };
+
+  /// The controller must outlive the VM's use of the derived plan.
+  OnlineMutationController(VirtualMachine &VM, Config Cfg);
+
+  /// Advances the phase machine; call between units of application work.
+  /// Cheap when no phase boundary has been reached.
+  void poll();
+
+  Phase phase() const { return CurPhase; }
+  /// The derived plan (empty until Active).
+  const MutationPlan &plan() const { return Plan; }
+  const OlcDatabase &olc() const { return Olc; }
+  /// Cycle stamp at which mutation went live (0 until Active).
+  uint64_t activationCycle() const { return ActivationCycle; }
+
+private:
+  void finishHotProfiling();
+  void activate();
+
+  VirtualMachine &VM;
+  Config Cfg;
+  Phase CurPhase = Phase::HotProfiling;
+  uint64_t PhaseStartCycles = 0;
+  HotMethodProfile Profile;
+  std::vector<ClassStateFields> Candidates;
+  std::unique_ptr<ValueProfiler> VP;
+  MutationPlan Plan;
+  OlcDatabase Olc;
+  uint64_t ActivationCycle = 0;
+};
+
+} // namespace dchm
+
+#endif // DCHM_ONLINE_ONLINECONTROLLER_H

@@ -1,0 +1,57 @@
+//===-- runtime/Object.h - Heap object layout ------------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap object layout. Every instance carries its own TIB pointer (the Jikes
+/// object model); mutation re-points it between the class TIB and special
+/// TIBs as the object's state changes. Arrays reuse the same header with a
+/// null TIB and an element type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_RUNTIME_OBJECT_H
+#define DCHM_RUNTIME_OBJECT_H
+
+#include "ir/Type.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+
+namespace dchm {
+
+struct TIB;
+
+/// Header + inline slots of a heap object or array.
+struct Object {
+  /// The object's current virtual function table. For a mutated object this
+  /// is one of the class's special TIBs. Null for arrays.
+  TIB *Tib = nullptr;
+  /// Intrusive list of all allocations, used by the sweep phase.
+  Object *NextAlloc = nullptr;
+  /// Instance: number of field slots. Array: element count.
+  uint32_t NumSlots = 0;
+  uint8_t Mark = 0;
+  bool IsArray = false;
+  /// Element type for arrays (drives GC reference scanning).
+  Type ElemTy = Type::I64;
+
+  /// Inline value slots (fields or elements).
+  Value *slots() { return reinterpret_cast<Value *>(this + 1); }
+  const Value *slots() const { return reinterpret_cast<const Value *>(this + 1); }
+
+  Value get(uint32_t Slot) const { return slots()[Slot]; }
+  void set(uint32_t Slot, Value V) { slots()[Slot] = V; }
+
+  /// Allocation size in bytes for an object with N slots.
+  static size_t allocBytes(uint32_t NSlots) {
+    return sizeof(Object) + static_cast<size_t>(NSlots) * sizeof(Value);
+  }
+};
+
+} // namespace dchm
+
+#endif // DCHM_RUNTIME_OBJECT_H

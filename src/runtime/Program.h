@@ -1,0 +1,138 @@
+//===-- runtime/Program.h - Class registry and linker ----------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program is the MiniVM's class universe: users define classes, fields, and
+/// methods (with IRFunction bodies) through it, then link() resolves field
+/// slots, builds vtables with override resolution, lays out IMTs, creates
+/// class TIBs and the JTOC, and resolves every symbolic reference in every
+/// method body. After linking, the Program also provides the compiled-code
+/// installation primitive (`installCode`) with the exact Jikes semantics the
+/// paper builds on: a new compiled method replaces the old one in the JTOC
+/// if static, or in the class TIB and the subclasses' TIBs if virtual.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_RUNTIME_PROGRAM_H
+#define DCHM_RUNTIME_PROGRAM_H
+
+#include "runtime/Entities.h"
+#include "runtime/TIB.h"
+#include "runtime/Value.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dchm {
+
+/// The class universe plus its linked runtime structures (TIBs, JTOC).
+class Program {
+public:
+  Program();
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  // --- Definition API (before link) ---------------------------------------
+  /// Defines a class. Super == NoClassId makes it a root class.
+  ClassId defineClass(const std::string &Name, ClassId Super = NoClassId,
+                      uint32_t Package = 0);
+  /// Defines an interface (methods added to it must be abstract).
+  ClassId defineInterface(const std::string &Name, uint32_t Package = 0);
+  /// Declares that Cls implements Iface.
+  void addInterface(ClassId Cls, ClassId Iface);
+  FieldId defineField(ClassId Owner, const std::string &Name, Type Ty,
+                      bool IsStatic, Access Acc = Access::Public);
+  MethodId defineMethod(ClassId Owner, const std::string &Name, Type RetTy,
+                        std::vector<Type> ParamTys, MethodFlags Flags = {});
+  /// Attaches the bytecode body built with FunctionBuilder.
+  void setBody(MethodId M, IRFunction F);
+
+  /// Resolves everything. Aborts with a diagnostic on ill-formed input
+  /// (the library is exception-free; a bad program is a caller bug).
+  void link();
+  bool isLinked() const { return Linked; }
+
+  // --- Accessors -----------------------------------------------------------
+  ClassInfo &cls(ClassId Id);
+  const ClassInfo &cls(ClassId Id) const;
+  FieldInfo &field(FieldId Id);
+  const FieldInfo &field(FieldId Id) const;
+  MethodInfo &method(MethodId Id);
+  const MethodInfo &method(MethodId Id) const;
+  size_t numClasses() const { return Classes.size(); }
+  size_t numFields() const { return Fields.size(); }
+  size_t numMethods() const { return Methods.size(); }
+
+  /// Name lookups (linear; intended for tests, tools, and workload setup).
+  ClassId findClass(const std::string &Name) const;
+  MethodId findMethod(ClassId Cls, const std::string &Name) const;
+  FieldId findField(ClassId Cls, const std::string &Name) const;
+
+  /// Subtype test used by InstanceOf/CheckCast. Goes through class metadata
+  /// (the TIB type-information entry), never TIB identity.
+  bool isSubtype(ClassId Sub, ClassId Sup) const;
+
+  // --- JTOC ---------------------------------------------------------------
+  Value getStaticSlot(uint32_t Slot) const { return StaticSlots[Slot]; }
+  void setStaticSlot(uint32_t Slot, Value V) { StaticSlots[Slot] = V; }
+  size_t numStaticSlots() const { return StaticSlots.size(); }
+  Type staticSlotType(uint32_t Slot) const { return StaticSlotTypes[Slot]; }
+
+  /// JTOC compiled-code entry for a static method (null = not yet compiled).
+  CompiledMethod *staticEntry(MethodId M) const { return StaticEntries[M]; }
+  void setStaticEntry(MethodId M, CompiledMethod *CM) {
+    StaticEntries[M] = CM;
+  }
+
+  // --- Code installation (Jikes default semantics) -------------------------
+  /// Installs CM as the current general compiled code of M: JTOC entry for
+  /// statics; for non-statics the declaring class TIB slot, the declaring
+  /// class's special TIBs, non-overriding subclasses' TIBs (class + special),
+  /// and any Direct IMT entries that dispatch to M. The mutation engine
+  /// overwrites special-TIB entries afterwards per algorithm part II.
+  void installCode(MethodInfo &M, CompiledMethod *CM);
+
+  // --- TIB management ------------------------------------------------------
+  /// Clones the class TIB of Cls into a new special TIB for hot state
+  /// StateIndex and registers it on the class. Used by the mutation engine.
+  TIB *createSpecialTib(ClassId Cls, int StateIndex);
+
+  /// Total bytes of all class TIBs / all special TIBs (Figure 12 metric).
+  size_t classTibBytes() const;
+  size_t specialTibBytes() const;
+
+private:
+  void computeAncestry();
+  void layoutFields();
+  void buildVTables();
+  void buildImts();
+  void createTibs();
+  void resolveBodies();
+  const MethodInfo *findVirtualBySignature(const ClassInfo &C,
+                                           const MethodInfo &Sig) const;
+
+  std::deque<ClassInfo> Classes;
+  std::deque<FieldInfo> Fields;
+  std::deque<MethodInfo> Methods;
+  std::unordered_map<std::string, ClassId> ClassByName;
+
+  std::vector<Value> StaticSlots;
+  std::vector<Type> StaticSlotTypes;
+  std::vector<CompiledMethod *> StaticEntries;
+
+  std::vector<std::unique_ptr<TIB>> OwnedTibs;
+  std::vector<std::unique_ptr<IMT>> OwnedImts;
+
+  bool Linked = false;
+};
+
+} // namespace dchm
+
+#endif // DCHM_RUNTIME_PROGRAM_H

@@ -1,0 +1,60 @@
+//===-- runtime/Value.h - Runtime value slots ------------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A runtime value is one 64-bit slot whose interpretation (int, float, or
+/// reference) is given by static type information: register types in IR
+/// functions, field layouts in classes, element types in arrays. This is
+/// the same untagged-slot model Jikes uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_RUNTIME_VALUE_H
+#define DCHM_RUNTIME_VALUE_H
+
+#include <cstdint>
+
+namespace dchm {
+
+struct Object;
+
+/// One untagged 64-bit value slot.
+union Value {
+  int64_t I;
+  double F;
+  Object *R;
+};
+
+inline Value valueI(int64_t V) {
+  Value X;
+  X.I = V;
+  return X;
+}
+
+inline Value valueF(double V) {
+  Value X;
+  X.F = V;
+  return X;
+}
+
+inline Value valueR(Object *V) {
+  Value X;
+  X.R = V;
+  return X;
+}
+
+/// The all-zero value used to initialize fields, array elements, and
+/// registers (0 / 0.0 / null).
+inline Value zeroValue() {
+  Value X;
+  X.I = 0;
+  return X;
+}
+
+} // namespace dchm
+
+#endif // DCHM_RUNTIME_VALUE_H

@@ -1,0 +1,44 @@
+//===-- support/Debug.h - Assertions and unreachable markers --*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers used throughout the library. The library is built
+/// without exceptions (LLVM style); fatal conditions abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_SUPPORT_DEBUG_H
+#define DCHM_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dchm {
+
+/// Print a fatal error message and abort. Used for conditions that indicate
+/// a bug in the library or an ill-formed program handed to the VM.
+[[noreturn]] inline void reportFatalError(const char *Msg, const char *File,
+                                          int Line) {
+  std::fprintf(stderr, "dchm fatal error: %s (%s:%d)\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace dchm
+
+/// Marks a point that must never be executed (LLVM's llvm_unreachable).
+#define DCHM_UNREACHABLE(Msg)                                                  \
+  ::dchm::reportFatalError("unreachable: " Msg, __FILE__, __LINE__)
+
+/// Assertion that stays enabled in all build types: the VM validates the
+/// programs users construct, so these are semantic checks, not debug-only.
+#define DCHM_CHECK(Cond, Msg)                                                  \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::dchm::reportFatalError(Msg, __FILE__, __LINE__);                       \
+  } while (false)
+
+#endif // DCHM_SUPPORT_DEBUG_H

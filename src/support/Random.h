@@ -1,0 +1,73 @@
+//===-- support/Random.h - Deterministic PRNG -----------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic xorshift128+ generator. Workload generators and
+/// property tests need run-to-run reproducible randomness; std::mt19937 is
+/// avoided so seeds produce identical streams across platforms and stdlibs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_SUPPORT_RANDOM_H
+#define DCHM_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace dchm {
+
+/// Deterministic xorshift128+ pseudo-random generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding to decorrelate nearby seeds.
+    auto Next = [&Seed]() {
+      Seed += 0x9E3779B97F4A7C15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Next();
+    S1 = Next();
+    if (S0 == 0 && S1 == 0)
+      S1 = 1;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Uniform value in [0, Bound). Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(nextBelow(
+                    static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace dchm
+
+#endif // DCHM_SUPPORT_RANDOM_H

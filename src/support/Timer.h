@@ -1,0 +1,42 @@
+//===-- support/Timer.h - Wall-clock timing -------------------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer. The primary performance metric in this repo is
+/// the deterministic simulated cycle count; wall time is reported alongside
+/// it as a secondary sanity check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_SUPPORT_TIMER_H
+#define DCHM_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace dchm {
+
+/// Wall-clock stopwatch started at construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Restart the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace dchm
+
+#endif // DCHM_SUPPORT_TIMER_H

@@ -1,0 +1,471 @@
+//===-- workloads/CsvToXml.cpp - CSV to XML converter -------------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Models CSVToXML v1.1: a converter whose per-character classification
+/// depends on configuration state (delimiter code, quote mode) that is fixed
+/// at construction — the "one distinct hot state" pattern the paper found in
+/// the real applications. The private `conv` reference in RowParser is an
+/// exact-type field whose delimiter/quote fields are object lifetime
+/// constants, exercising specialization inlining (paper section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/Builder.h"
+
+namespace dchm {
+
+namespace {
+
+class CsvToXml final : public Workload {
+public:
+  std::string name() const override { return "CSVToXML"; }
+  std::string description() const override {
+    return "CSV to XML conversion with configuration-state converter";
+  }
+
+  void build(Program &P) override {
+    // --- class CharBuffer ----------------------------------------------------
+    ClassId Buf = P.defineClass("CharBuffer");
+    FieldId Data = P.defineField(Buf, "data", Type::Ref, false, Access::Private);
+    FieldId Len = P.defineField(Buf, "len", Type::I64, false, Access::Private);
+    MethodId BufCtor = P.defineMethod(Buf, "<init>", Type::Void, {Type::I64},
+                                      {.IsCtor = true});
+    {
+      FunctionBuilder B("CharBuffer.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg Cap = B.addArg(Type::I64);
+      B.putField(This, Data, B.newArray(Type::I64, Cap));
+      Reg Zero = B.constI(0);
+      B.putField(This, Len, Zero);
+      B.retVoid();
+      P.setBody(BufCtor, B.finalize());
+    }
+    MethodId Append = P.defineMethod(Buf, "append", Type::Void, {Type::I64});
+    {
+      FunctionBuilder B("CharBuffer.append", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg C = B.addArg(Type::I64);
+      Reg D = B.getField(This, Data, Type::Ref);
+      Reg L = B.getField(This, Len, Type::I64);
+      B.astore(Type::I64, D, L, C);
+      Reg One = B.constI(1);
+      B.putField(This, Len, B.add(L, One));
+      B.retVoid();
+      P.setBody(Append, B.finalize());
+    }
+    MethodId GetAt = P.defineMethod(Buf, "get", Type::I64, {Type::I64});
+    {
+      FunctionBuilder B("CharBuffer.get", Type::I64);
+      Reg This = B.addArg(Type::Ref);
+      Reg I = B.addArg(Type::I64);
+      B.ret(B.aload(Type::I64, B.getField(This, Data, Type::Ref), I));
+      P.setBody(GetAt, B.finalize());
+    }
+    MethodId Length = P.defineMethod(Buf, "length", Type::I64, {});
+    {
+      FunctionBuilder B("CharBuffer.length", Type::I64);
+      Reg This = B.addArg(Type::Ref);
+      B.ret(B.getField(This, Len, Type::I64));
+      P.setBody(Length, B.finalize());
+    }
+    MethodId Clear = P.defineMethod(Buf, "clear", Type::Void, {});
+    {
+      FunctionBuilder B("CharBuffer.clear", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg Zero = B.constI(0);
+      B.putField(This, Len, Zero);
+      B.retVoid();
+      P.setBody(Clear, B.finalize());
+    }
+    MethodId HashBuf = P.defineMethod(Buf, "hash", Type::I64, {});
+    {
+      FunctionBuilder B("CharBuffer.hash", Type::I64);
+      Reg This = B.addArg(Type::Ref);
+      Reg D = B.getField(This, Data, Type::Ref);
+      Reg L = B.getField(This, Len, Type::I64);
+      Reg I = B.newReg(Type::I64);
+      Reg H = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      Reg M = B.constI(131);
+      B.move(I, Zero);
+      B.move(H, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, I, L), LDone);
+      B.move(H, B.add(B.mul(H, M), B.aload(Type::I64, D, I)));
+      B.move(I, B.add(I, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.ret(H);
+      P.setBody(HashBuf, B.finalize());
+    }
+
+    // --- class Converter (mutable) --------------------------------------------
+    ClassId Conv = P.defineClass("Converter");
+    FieldId Delim =
+        P.defineField(Conv, "delim", Type::I64, false, Access::Package);
+    FieldId Quote =
+        P.defineField(Conv, "quoteMode", Type::I64, false, Access::Package);
+    MethodId ConvCtor =
+        P.defineMethod(Conv, "<init>", Type::Void, {}, {.IsCtor = true});
+    {
+      FunctionBuilder B("Converter.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg Comma = B.constI(44); // ','
+      B.putField(This, Delim, Comma);
+      Reg Zero = B.constI(0);
+      B.putField(This, Quote, Zero);
+      B.retVoid();
+      P.setBody(ConvCtor, B.finalize());
+    }
+    // classify(c): 1 = delimiter, 2 = newline, 3 = quote char (only when
+    // quote mode is on), 0 = ordinary text.
+    MethodId Classify = P.defineMethod(Conv, "classify", Type::I64,
+                                       {Type::I64});
+    {
+      FunctionBuilder B("Converter.classify", Type::I64);
+      Reg This = B.addArg(Type::Ref);
+      Reg C = B.addArg(Type::I64);
+      auto LNl = B.makeLabel();
+      auto LQ = B.makeLabel();
+      auto LText = B.makeLabel();
+      Reg D = B.getField(This, Delim, Type::I64);
+      B.cbz(B.cmp(Opcode::CmpEQ, C, D), LNl);
+      B.ret(B.constI(1));
+      B.bind(LNl);
+      Reg Nl = B.constI(10);
+      B.cbz(B.cmp(Opcode::CmpEQ, C, Nl), LQ);
+      B.ret(B.constI(2));
+      B.bind(LQ);
+      // Quote handling: the mode field is only consulted for quote chars.
+      Reg Dq = B.constI(34); // '"'
+      B.cbz(B.cmp(Opcode::CmpEQ, C, Dq), LText);
+      Reg Q = B.getField(This, Quote, Type::I64);
+      B.cbz(Q, LText);
+      B.ret(B.constI(3));
+      B.bind(LText);
+      B.ret(B.constI(0));
+      P.setBody(Classify, B.finalize());
+    }
+
+    // --- class XmlWriter -----------------------------------------------------
+    ClassId Writer = P.defineClass("XmlWriter");
+    FieldId WBuf =
+        P.defineField(Writer, "out", Type::Ref, false, Access::Private);
+    MethodId WCtor = P.defineMethod(Writer, "<init>", Type::Void, {Type::Ref},
+                                    {.IsCtor = true});
+    {
+      FunctionBuilder B("XmlWriter.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg Out = B.addArg(Type::Ref);
+      B.putField(This, WBuf, Out);
+      B.retVoid();
+      P.setBody(WCtor, B.finalize());
+    }
+    // field(c): wraps a cell character; cell/row boundaries emit tag chars.
+    MethodId EmitChar = P.defineMethod(Writer, "emitChar", Type::Void,
+                                       {Type::I64});
+    {
+      FunctionBuilder B("XmlWriter.emitChar", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg C = B.addArg(Type::I64);
+      Reg Out = B.getField(This, WBuf, Type::Ref);
+      // XML entity escaping: '<' and '&' expand; everything else verbatim.
+      auto LAmp = B.makeLabel();
+      auto LPlain = B.makeLabel();
+      auto LDone = B.makeLabel();
+      Reg Lt = B.constI(60);
+      B.cbz(B.cmp(Opcode::CmpEQ, C, Lt), LAmp);
+      {
+        Reg Amp = B.constI(38);
+        Reg Cl = B.constI(108);
+        Reg Ct = B.constI(116);
+        Reg Semi = B.constI(59);
+        B.callVirtual(Append, {Out, Amp}, Type::Void);
+        B.callVirtual(Append, {Out, Cl}, Type::Void);
+        B.callVirtual(Append, {Out, Ct}, Type::Void);
+        B.callVirtual(Append, {Out, Semi}, Type::Void);
+        B.br(LDone);
+      }
+      B.bind(LAmp);
+      Reg AmpC = B.constI(38);
+      B.cbz(B.cmp(Opcode::CmpEQ, C, AmpC), LPlain);
+      {
+        Reg Ca = B.constI(97);
+        Reg Mm = B.constI(109);
+        Reg Pp = B.constI(112);
+        Reg Semi2 = B.constI(59);
+        B.callVirtual(Append, {Out, AmpC}, Type::Void);
+        B.callVirtual(Append, {Out, Ca}, Type::Void);
+        B.callVirtual(Append, {Out, Mm}, Type::Void);
+        B.callVirtual(Append, {Out, Pp}, Type::Void);
+        B.callVirtual(Append, {Out, Semi2}, Type::Void);
+        B.br(LDone);
+      }
+      B.bind(LPlain);
+      B.callVirtual(Append, {Out, C}, Type::Void);
+      B.br(LDone);
+      B.bind(LDone);
+      B.retVoid();
+      P.setBody(EmitChar, B.finalize());
+    }
+    MethodId EmitTag = P.defineMethod(Writer, "emitTag", Type::Void,
+                                      {Type::I64});
+    {
+      FunctionBuilder B("XmlWriter.emitTag", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg Code = B.addArg(Type::I64);
+      Reg Out = B.getField(This, WBuf, Type::Ref);
+      Reg Lt = B.constI(60);
+      Reg Gt = B.constI(62);
+      B.callVirtual(Append, {Out, Lt}, Type::Void);
+      B.callVirtual(Append, {Out, Code}, Type::Void);
+      B.callVirtual(Append, {Out, Gt}, Type::Void);
+      B.retVoid();
+      P.setBody(EmitTag, B.finalize());
+    }
+
+    // --- class RowParser -------------------------------------------------------
+    // Holds the converter in a private exact-type reference field: the
+    // delimiter/quote fields are object lifetime constants through it.
+    ClassId Parser = P.defineClass("RowParser");
+    FieldId ConvRef =
+        P.defineField(Parser, "conv", Type::Ref, false, Access::Private);
+    FieldId ColHist =
+        P.defineField(Parser, "colHist", Type::Ref, false, Access::Private);
+    FieldId CellIdx =
+        P.defineField(Parser, "cellIdx", Type::I64, false, Access::Private);
+    MethodId ParCtor = P.defineMethod(Parser, "<init>", Type::Void, {},
+                                      {.IsCtor = true});
+    {
+      FunctionBuilder B("RowParser.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg C = B.newObject(Conv);
+      B.callSpecial(ConvCtor, {C}, Type::Void);
+      B.putField(This, ConvRef, C);
+      Reg C16 = B.constI(16);
+      B.putField(This, ColHist, B.newArray(Type::I64, C16));
+      Reg Zero = B.constI(0);
+      B.putField(This, CellIdx, Zero);
+      B.retVoid();
+      P.setBody(ParCtor, B.finalize());
+    }
+    // parse(input, writer): the hot conversion loop, with the per-character
+    // row/column statistics the real converter keeps.
+    MethodId Parse = P.defineMethod(Parser, "parse", Type::Void,
+                                    {Type::Ref, Type::Ref});
+    {
+      FunctionBuilder B("RowParser.parse", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg In = B.addArg(Type::Ref);
+      Reg W = B.addArg(Type::Ref);
+      Reg N = B.callVirtual(Length, {In}, Type::I64);
+      Reg Hist = B.getField(This, ColHist, Type::Ref);
+      Reg Cell = B.newReg(Type::I64);
+      B.move(Cell, B.getField(This, CellIdx, Type::I64));
+      Reg Mask15 = B.constI(15);
+      // The converter reference is loop-invariant; load it once, as javac's
+      // optimizer (or a programmer) would.
+      Reg Conv2 = B.getField(This, ConvRef, Type::Ref);
+      Reg RowLen = B.newReg(Type::I64);
+      Reg MaxRow = B.newReg(Type::I64);
+      Reg I = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      B.move(RowLen, Zero);
+      B.move(MaxRow, Zero);
+      B.move(I, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      auto LCell = B.makeLabel();
+      auto LRow = B.makeLabel();
+      auto LText = B.makeLabel();
+      auto LNext = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, I, N), LDone);
+      Reg C = B.callVirtual(GetAt, {In, I}, Type::I64);
+      Reg K = B.callVirtual(Classify, {Conv2, C}, Type::I64);
+      B.cbz(B.cmp(Opcode::CmpEQ, K, One), LCell);
+      Reg TagC = B.constI(99); // 'c'
+      B.callVirtual(EmitTag, {W, TagC}, Type::Void);
+      B.br(LNext);
+      B.bind(LCell);
+      Reg Two = B.constI(2);
+      B.cbz(B.cmp(Opcode::CmpEQ, K, Two), LRow);
+      Reg TagR = B.constI(114); // 'r'
+      B.callVirtual(EmitTag, {W, TagR}, Type::Void);
+      B.br(LNext);
+      B.bind(LRow);
+      Reg Three = B.constI(3);
+      B.cbz(B.cmp(Opcode::CmpEQ, K, Three), LText);
+      B.br(LNext); // quotes are swallowed
+      B.bind(LText);
+      B.callVirtual(EmitChar, {W, C}, Type::Void);
+      B.br(LNext);
+      B.bind(LNext);
+      // Column statistics: histogram of cell positions plus row-width
+      // tracking (the real converter validates ragged rows).
+      Reg HIdx = B.andI(Cell, Mask15);
+      Reg HV = B.aload(Type::I64, Hist, HIdx);
+      B.astore(Type::I64, Hist, HIdx, B.add(HV, One));
+      B.move(Cell, B.add(Cell, B.cmp(Opcode::CmpEQ, K, One)));
+      Reg IsNl = B.cmp(Opcode::CmpEQ, K, Two);
+      // rowLen = (rowLen + 1) * (1 - isNl); maxRow = max(maxRow, rowLen)
+      Reg RL1 = B.add(RowLen, One);
+      B.move(RowLen, B.mul(RL1, B.sub(One, IsNl)));
+      auto LNoMax = B.makeLabel();
+      B.cbz(B.cmp(Opcode::CmpGT, RowLen, MaxRow), LNoMax);
+      B.move(MaxRow, RowLen);
+      B.bind(LNoMax);
+      B.move(I, B.add(I, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.putField(This, CellIdx, B.add(Cell, MaxRow));
+      B.retVoid();
+      P.setBody(Parse, B.finalize());
+    }
+
+    // --- class CsvMain ----------------------------------------------------------
+    ClassId Main = P.defineClass("CsvMain");
+    FieldId FIn = P.defineField(Main, "input", Type::Ref, true, Access::Private);
+    FieldId FOut =
+        P.defineField(Main, "output", Type::Ref, true, Access::Private);
+    FieldId FParser =
+        P.defineField(Main, "parser", Type::Ref, true, Access::Private);
+    FieldId FWriter =
+        P.defineField(Main, "writer", Type::Ref, true, Access::Private);
+    FieldId FSeed = P.defineField(Main, "seed", Type::I64, true);
+
+    MethodId NextRand = P.defineMethod(Main, "nextRand", Type::I64, {},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("CsvMain.nextRand", Type::I64);
+      Reg S = B.getStatic(FSeed, Type::I64);
+      Reg Mul = B.constI(1103515245);
+      Reg Add = B.constI(12345);
+      Reg S2 = B.add(B.mul(S, Mul), Add);
+      B.putStatic(FSeed, S2);
+      Reg Sh = B.constI(16);
+      Reg Mask = B.constI(0x7FFF);
+      B.ret(B.andI(B.shr(S2, Sh), Mask));
+      P.setBody(NextRand, B.finalize());
+    }
+
+    // init(n): synthesize an n-character CSV document.
+    MethodId Init = P.defineMethod(Main, "init", Type::Void, {Type::I64},
+                                   {.IsStatic = true});
+    {
+      FunctionBuilder B("CsvMain.init", Type::Void);
+      Reg N = B.addArg(Type::I64);
+      Reg In = B.newObject(Buf);
+      B.callSpecial(BufCtor, {In, N}, Type::Void);
+      B.putStatic(FIn, In);
+      Reg OutCap = B.newReg(Type::I64);
+      Reg Six = B.constI(6);
+      B.move(OutCap, B.mul(N, Six));
+      Reg Out = B.newObject(Buf);
+      B.callSpecial(BufCtor, {Out, OutCap}, Type::Void);
+      B.putStatic(FOut, Out);
+      Reg Par = B.newObject(Parser);
+      B.callSpecial(ParCtor, {Par}, Type::Void);
+      B.putStatic(FParser, Par);
+      Reg W = B.newObject(Writer);
+      B.callSpecial(WCtor, {W, Out}, Type::Void);
+      B.putStatic(FWriter, W);
+      // Fill: mostly letters, ~1/8 commas, ~1/24 newlines.
+      Reg I = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      B.move(I, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      auto LComma = B.makeLabel();
+      auto LNl = B.makeLabel();
+      auto LAppend = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, I, N), LDone);
+      Reg R = B.callStatic(NextRand, {}, Type::I64);
+      Reg C24 = B.constI(24);
+      Reg Bucket = B.rem(R, C24);
+      Reg Ch = B.newReg(Type::I64);
+      Reg C3 = B.constI(3);
+      B.cbz(B.cmp(Opcode::CmpLT, Bucket, C3), LComma);
+      Reg Comma = B.constI(44);
+      B.move(Ch, Comma);
+      B.br(LAppend);
+      B.bind(LComma);
+      B.cbz(B.cmp(Opcode::CmpEQ, Bucket, C3), LNl);
+      Reg Nl = B.constI(10);
+      B.move(Ch, Nl);
+      B.br(LAppend);
+      B.bind(LNl);
+      Reg C26 = B.constI(26);
+      Reg CA = B.constI(97);
+      B.move(Ch, B.add(CA, B.rem(R, C26)));
+      B.br(LAppend);
+      B.bind(LAppend);
+      Reg InB = B.getStatic(FIn, Type::Ref);
+      B.callVirtual(Append, {InB, Ch}, Type::Void);
+      B.move(I, B.add(I, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.retVoid();
+      P.setBody(Init, B.finalize());
+    }
+
+    MethodId Convert = P.defineMethod(Main, "convert", Type::Void, {},
+                                      {.IsStatic = true});
+    {
+      FunctionBuilder B("CsvMain.convert", Type::Void);
+      Reg Out = B.getStatic(FOut, Type::Ref);
+      B.callVirtual(Clear, {Out}, Type::Void);
+      Reg Par = B.getStatic(FParser, Type::Ref);
+      Reg In = B.getStatic(FIn, Type::Ref);
+      Reg W = B.getStatic(FWriter, Type::Ref);
+      B.callVirtual(Parse, {Par, In, W}, Type::Void);
+      B.retVoid();
+      P.setBody(Convert, B.finalize());
+    }
+
+    MethodId CheckSum = P.defineMethod(Main, "checkSum", Type::Void, {},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("CsvMain.checkSum", Type::Void);
+      Reg Out = B.getStatic(FOut, Type::Ref);
+      Reg H = B.callVirtual(HashBuf, {Out}, Type::I64);
+      B.printNum(H, Type::I64);
+      B.retVoid();
+      P.setBody(CheckSum, B.finalize());
+    }
+  }
+
+  void driveScaled(VirtualMachine &VM, double Scale) override {
+    ProgramIds Ids(VM.program());
+    VM.program().setStaticSlot(
+        VM.program().field(Ids.field("CsvMain", "seed")).Slot, valueI(777));
+    VM.call(Ids.method("CsvMain", "init"), {valueI(2000)});
+    long Batches = static_cast<long>(160 * Scale);
+    if (Batches < 6)
+      Batches = 6;
+    MethodId Convert = Ids.method("CsvMain", "convert");
+    for (long I = 0; I < Batches; ++I)
+      VM.call(Convert, {});
+    VM.call(Ids.method("CsvMain", "checkSum"), {});
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeCsvToXml() {
+  return std::make_unique<CsvToXml>();
+}
+
+} // namespace dchm

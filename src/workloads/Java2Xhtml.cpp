@@ -1,0 +1,322 @@
+//===-- workloads/Java2Xhtml.cpp - Java source to XHTML -----------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Models Java2XHTML v2.0 (2 classes in Table 1): a formatter walking Java
+/// source characters and emitting XHTML. The Formatter's style options
+/// (styleMode, tabSize) are configuration state fixed at construction — a
+/// single distinct hot state; specializing the per-character format method
+/// folds the style branches and the tab-expansion loop bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/Builder.h"
+
+namespace dchm {
+
+namespace {
+
+class Java2Xhtml final : public Workload {
+public:
+  std::string name() const override { return "Java2XHTML"; }
+  std::string description() const override {
+    return "Java to XHTML conversion with style-state formatter";
+  }
+
+  void build(Program &P) override {
+    // --- class Formatter (mutable) --------------------------------------------
+    ClassId Fmt = P.defineClass("Formatter");
+    FieldId Style =
+        P.defineField(Fmt, "styleMode", Type::I64, false, Access::Private);
+    FieldId TabSize =
+        P.defineField(Fmt, "tabSize", Type::I64, false, Access::Private);
+    MethodId FmtCtor =
+        P.defineMethod(Fmt, "<init>", Type::Void, {}, {.IsCtor = true});
+    {
+      FunctionBuilder B("Formatter.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg One = B.constI(1);
+      B.putField(This, Style, One);
+      Reg Four = B.constI(4);
+      B.putField(This, TabSize, Four);
+      B.retVoid();
+      P.setBody(FmtCtor, B.finalize());
+    }
+
+    // formatChar(c, out, pos): append the XHTML rendering of c to out
+    // (an i64 array), returning the new position.
+    MethodId FormatChar = P.defineMethod(
+        Fmt, "formatChar", Type::I64, {Type::I64, Type::Ref, Type::I64});
+    {
+      FunctionBuilder B("Formatter.formatChar", Type::I64);
+      Reg This = B.addArg(Type::Ref);
+      Reg C = B.addArg(Type::I64);
+      Reg Out = B.addArg(Type::Ref);
+      Reg PosArg = B.addArg(Type::I64);
+      Reg Pos = B.newReg(Type::I64);
+      B.move(Pos, PosArg);
+      Reg One = B.constI(1);
+      auto LTab = B.makeLabel();
+      auto LLt = B.makeLabel();
+      auto LAmp = B.makeLabel();
+      auto LKw = B.makeLabel();
+      auto LPlain = B.makeLabel();
+      auto LDone = B.makeLabel();
+      // Tab: expand to tabSize spaces.
+      Reg Tab = B.constI(9);
+      B.cbz(B.cmp(Opcode::CmpEQ, C, Tab), LLt);
+      B.br(LTab);
+      B.bind(LTab);
+      {
+        Reg I = B.newReg(Type::I64);
+        Reg Zero = B.constI(0);
+        Reg Space = B.constI(32);
+        B.move(I, Zero);
+        auto LH = B.makeLabel();
+        auto LE = B.makeLabel();
+        B.bind(LH);
+        // Field read in the loop bound, as javac emits for
+        // `for (i = 0; i < tabSize; i++)`.
+        Reg T = B.getField(This, TabSize, Type::I64);
+        B.cbz(B.cmp(Opcode::CmpLT, I, T), LE);
+        B.astore(Type::I64, Out, Pos, Space);
+        B.move(Pos, B.add(Pos, One));
+        B.move(I, B.add(I, One));
+        B.br(LH);
+        B.bind(LE);
+        B.br(LDone);
+      }
+      // '<' escapes to &lt; (4 chars).
+      B.bind(LLt);
+      Reg Lt = B.constI(60);
+      B.cbz(B.cmp(Opcode::CmpEQ, C, Lt), LAmp);
+      {
+        Reg Amp = B.constI(38);
+        Reg Cl = B.constI(108);
+        Reg Ct = B.constI(116);
+        Reg Semi = B.constI(59);
+        B.astore(Type::I64, Out, Pos, Amp);
+        B.move(Pos, B.add(Pos, One));
+        B.astore(Type::I64, Out, Pos, Cl);
+        B.move(Pos, B.add(Pos, One));
+        B.astore(Type::I64, Out, Pos, Ct);
+        B.move(Pos, B.add(Pos, One));
+        B.astore(Type::I64, Out, Pos, Semi);
+        B.move(Pos, B.add(Pos, One));
+        B.br(LDone);
+      }
+      // '&' escapes to &amp; — folded into one branch chain.
+      B.bind(LAmp);
+      Reg AmpC = B.constI(38);
+      B.cbz(B.cmp(Opcode::CmpEQ, C, AmpC), LKw);
+      {
+        Reg Ca = B.constI(97);
+        B.astore(Type::I64, Out, Pos, AmpC);
+        B.move(Pos, B.add(Pos, One));
+        B.astore(Type::I64, Out, Pos, Ca);
+        B.move(Pos, B.add(Pos, One));
+        B.br(LDone);
+      }
+      // Keyword-ish uppercase start: styled span when styleMode != 0.
+      B.bind(LKw);
+      Reg CA = B.constI(65);
+      Reg CZ = B.constI(90);
+      B.cbz(B.cmp(Opcode::CmpGE, C, CA), LPlain);
+      B.cbz(B.cmp(Opcode::CmpLE, C, CZ), LPlain);
+      {
+        Reg S = B.getField(This, Style, Type::I64);
+        auto LNoStyle = B.makeLabel();
+        B.cbz(S, LNoStyle);
+        // Emit a style marker '*' before the character.
+        Reg Star = B.constI(42);
+        B.astore(Type::I64, Out, Pos, Star);
+        B.move(Pos, B.add(Pos, One));
+        B.bind(LNoStyle);
+        B.astore(Type::I64, Out, Pos, C);
+        B.move(Pos, B.add(Pos, One));
+        B.br(LDone);
+      }
+      B.bind(LPlain);
+      B.astore(Type::I64, Out, Pos, C);
+      B.move(Pos, B.add(Pos, One));
+      B.br(LDone);
+      B.bind(LDone);
+      B.ret(Pos);
+      P.setBody(FormatChar, B.finalize());
+    }
+
+    // --- class J2xMain ------------------------------------------------------
+    ClassId Main = P.defineClass("J2xMain");
+    FieldId FIn = P.defineField(Main, "input", Type::Ref, true, Access::Private);
+    FieldId FOut =
+        P.defineField(Main, "output", Type::Ref, true, Access::Private);
+    FieldId FFmt =
+        P.defineField(Main, "fmt", Type::Ref, true, Access::Private);
+    FieldId FSeed = P.defineField(Main, "seed", Type::I64, true);
+    FieldId FHash = P.defineField(Main, "outHash", Type::I64, true);
+
+    MethodId NextRand = P.defineMethod(Main, "nextRand", Type::I64, {},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("J2xMain.nextRand", Type::I64);
+      Reg S = B.getStatic(FSeed, Type::I64);
+      Reg Mul = B.constI(22695477);
+      Reg Add = B.constI(1);
+      Reg S2 = B.add(B.mul(S, Mul), Add);
+      B.putStatic(FSeed, S2);
+      Reg Sh = B.constI(15);
+      Reg Mask = B.constI(0xFFFF);
+      B.ret(B.andI(B.shr(S2, Sh), Mask));
+      P.setBody(NextRand, B.finalize());
+    }
+
+    // init(n): synthesize Java-ish source: letters, tabs, '<', '&', capitals.
+    MethodId Init = P.defineMethod(Main, "init", Type::Void, {Type::I64},
+                                   {.IsStatic = true});
+    {
+      FunctionBuilder B("J2xMain.init", Type::Void);
+      Reg N = B.addArg(Type::I64);
+      Reg In = B.newArray(Type::I64, N);
+      B.putStatic(FIn, In);
+      Reg Cap = B.newReg(Type::I64);
+      Reg Six = B.constI(6);
+      B.move(Cap, B.mul(N, Six));
+      B.putStatic(FOut, B.newArray(Type::I64, Cap));
+      Reg F = B.newObject(Fmt);
+      B.callSpecial(FmtCtor, {F}, Type::Void);
+      B.putStatic(FFmt, F);
+      Reg I = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      B.move(I, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      auto LTab = B.makeLabel();
+      auto LLt = B.makeLabel();
+      auto LAmp = B.makeLabel();
+      auto LCap = B.makeLabel();
+      auto LStore = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, I, N), LDone);
+      Reg R = B.callStatic(NextRand, {}, Type::I64);
+      Reg C20 = B.constI(20);
+      Reg Bucket = B.rem(R, C20);
+      Reg Ch = B.newReg(Type::I64);
+      Reg Two = B.constI(2);
+      B.cbz(B.cmp(Opcode::CmpLT, Bucket, Two), LTab);
+      Reg Tab = B.constI(9);
+      B.move(Ch, Tab);
+      B.br(LStore);
+      B.bind(LTab);
+      B.cbz(B.cmp(Opcode::CmpEQ, Bucket, Two), LLt);
+      Reg Lt = B.constI(60);
+      B.move(Ch, Lt);
+      B.br(LStore);
+      B.bind(LLt);
+      Reg Three = B.constI(3);
+      B.cbz(B.cmp(Opcode::CmpEQ, Bucket, Three), LAmp);
+      Reg Amp = B.constI(38);
+      B.move(Ch, Amp);
+      B.br(LStore);
+      B.bind(LAmp);
+      Reg Nine = B.constI(9);
+      B.cbz(B.cmp(Opcode::CmpLT, Bucket, Nine), LCap);
+      Reg C26 = B.constI(26);
+      Reg CA = B.constI(65);
+      B.move(Ch, B.add(CA, B.rem(R, C26)));
+      B.br(LStore);
+      B.bind(LCap);
+      Reg C26b = B.constI(26);
+      Reg Ca = B.constI(97);
+      B.move(Ch, B.add(Ca, B.rem(R, C26b)));
+      B.br(LStore);
+      B.bind(LStore);
+      B.astore(Type::I64, In, I, Ch);
+      B.move(I, B.add(I, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.retVoid();
+      P.setBody(Init, B.finalize());
+    }
+
+    // format(): run the formatter over the whole input once.
+    MethodId Format = P.defineMethod(Main, "format", Type::Void, {},
+                                     {.IsStatic = true});
+    {
+      FunctionBuilder B("J2xMain.format", Type::Void);
+      Reg In = B.getStatic(FIn, Type::Ref);
+      Reg Out = B.getStatic(FOut, Type::Ref);
+      Reg F = B.getStatic(FFmt, Type::Ref);
+      Reg N = B.alen(In);
+      Reg I = B.newReg(Type::I64);
+      Reg Pos = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      B.move(I, Zero);
+      B.move(Pos, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, I, N), LDone);
+      Reg C = B.aload(Type::I64, In, I);
+      Reg NewPos = B.callVirtual(FormatChar, {F, C, Out, Pos}, Type::I64);
+      B.move(Pos, NewPos);
+      B.move(I, B.add(I, One));
+      B.br(LHead);
+      B.bind(LDone);
+      // Fold the output into a running hash (the semantic witness).
+      Reg H = B.getStatic(FHash, Type::I64);
+      Reg J = B.newReg(Type::I64);
+      B.move(J, Zero);
+      Reg M = B.constI(1000003);
+      auto LH2 = B.makeLabel();
+      auto LD2 = B.makeLabel();
+      B.bind(LH2);
+      B.cbz(B.cmp(Opcode::CmpLT, J, Pos), LD2);
+      B.move(H, B.add(B.mul(H, M), B.aload(Type::I64, Out, J)));
+      B.move(J, B.add(J, One));
+      B.br(LH2);
+      B.bind(LD2);
+      B.putStatic(FHash, H);
+      B.retVoid();
+      P.setBody(Format, B.finalize());
+    }
+
+    MethodId CheckSum = P.defineMethod(Main, "checkSum", Type::Void, {},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("J2xMain.checkSum", Type::Void);
+      Reg H = B.getStatic(FHash, Type::I64);
+      B.printNum(H, Type::I64);
+      B.retVoid();
+      P.setBody(CheckSum, B.finalize());
+    }
+  }
+
+  void driveScaled(VirtualMachine &VM, double Scale) override {
+    ProgramIds Ids(VM.program());
+    VM.program().setStaticSlot(
+        VM.program().field(Ids.field("J2xMain", "seed")).Slot, valueI(4242));
+    VM.call(Ids.method("J2xMain", "init"), {valueI(2500)});
+    long Batches = static_cast<long>(140 * Scale);
+    if (Batches < 6)
+      Batches = 6;
+    MethodId Format = Ids.method("J2xMain", "format");
+    for (long I = 0; I < Batches; ++I)
+      VM.call(Format, {});
+    VM.call(Ids.method("J2xMain", "checkSum"), {});
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeJava2Xhtml() {
+  return std::make_unique<Java2Xhtml>();
+}
+
+} // namespace dchm

@@ -1,0 +1,321 @@
+//===-- workloads/SalaryDb.cpp - The Figure 2 microbenchmark ------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// SalaryDB (paper Figure 2): an employee database whose raise() method
+/// branches on the SalaryEmployee grade field (0..3). Each grade is a hot
+/// state; specialization collapses raise() to a single salary update, which
+/// is where the paper's 31.4% speedup comes from.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/Builder.h"
+
+namespace dchm {
+
+namespace {
+
+class SalaryDb final : public Workload {
+public:
+  std::string name() const override { return "SalaryDB"; }
+  std::string description() const override {
+    return "Microbenchmark: grade-state employee salary raises";
+  }
+
+  void build(Program &P) override {
+    // --- class Employee ----------------------------------------------------
+    ClassId Employee = P.defineClass("Employee");
+    FieldId Salary =
+        P.defineField(Employee, "salary", Type::F64, false, Access::Package);
+    MethodId EmpCtor = P.defineMethod(Employee, "<init>", Type::Void, {},
+                                      {.IsCtor = true});
+    {
+      FunctionBuilder B("Employee.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg Zero = B.constF(0.0);
+      B.putField(This, Salary, Zero);
+      B.retVoid();
+      P.setBody(EmpCtor, B.finalize());
+    }
+    MethodId EmpRaise = P.defineMethod(Employee, "raise", Type::Void, {});
+    {
+      FunctionBuilder B("Employee.raise", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg S = B.getField(This, Salary, Type::F64);
+      Reg Inc = B.constF(0.25);
+      B.putField(This, Salary, B.fadd(S, Inc));
+      B.retVoid();
+      P.setBody(EmpRaise, B.finalize());
+    }
+    MethodId GetSalary = P.defineMethod(Employee, "getSalary", Type::F64, {});
+    {
+      FunctionBuilder B("Employee.getSalary", Type::F64);
+      Reg This = B.addArg(Type::Ref);
+      B.ret(B.getField(This, Salary, Type::F64));
+      P.setBody(GetSalary, B.finalize());
+    }
+
+    // --- class HourlyEmployee extends Employee ------------------------------
+    ClassId Hourly = P.defineClass("HourlyEmployee", Employee);
+    MethodId HourlyCtor = P.defineMethod(Hourly, "<init>", Type::Void, {},
+                                         {.IsCtor = true});
+    {
+      FunctionBuilder B("HourlyEmployee.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      B.callSpecial(EmpCtor, {This}, Type::Void);
+      B.retVoid();
+      P.setBody(HourlyCtor, B.finalize());
+    }
+    MethodId HourlyRaise = P.defineMethod(Hourly, "raise", Type::Void, {});
+    {
+      FunctionBuilder B("HourlyEmployee.raise", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg S = B.getField(This, Salary, Type::F64);
+      Reg Inc = B.constF(0.5);
+      B.putField(This, Salary, B.fadd(S, Inc));
+      B.retVoid();
+      P.setBody(HourlyRaise, B.finalize());
+    }
+
+    // --- class SalaryEmployee extends Employee -------------------------------
+    ClassId SalaryEmp = P.defineClass("SalaryEmployee", Employee);
+    FieldId Grade =
+        P.defineField(SalaryEmp, "grade", Type::I64, false, Access::Private);
+    MethodId SalCtor = P.defineMethod(SalaryEmp, "<init>", Type::Void,
+                                      {Type::I64}, {.IsCtor = true});
+    {
+      FunctionBuilder B("SalaryEmployee.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg G = B.addArg(Type::I64);
+      B.callSpecial(EmpCtor, {This}, Type::Void);
+      B.putField(This, Grade, G);
+      B.retVoid();
+      P.setBody(SalCtor, B.finalize());
+    }
+
+    // --- class TestDriver ----------------------------------------------------
+    ClassId Driver = P.defineClass("TestDriver");
+    FieldId SalEmps =
+        P.defineField(Driver, "salEmps", Type::Ref, true, Access::Private);
+    FieldId ErrCount =
+        P.defineField(Driver, "errCount", Type::I64, true, Access::Private);
+    MethodId ReportError = P.defineMethod(Driver, "reportError", Type::Void,
+                                          {}, {.IsStatic = true});
+    {
+      FunctionBuilder B("TestDriver.reportError", Type::Void);
+      Reg E = B.getStatic(ErrCount, Type::I64);
+      Reg One = B.constI(1);
+      B.putStatic(ErrCount, B.add(E, One));
+      B.retVoid();
+      P.setBody(ReportError, B.finalize());
+    }
+
+    // SalaryEmployee.raise: the grade if-chain of Figure 2.
+    MethodId SalRaise = P.defineMethod(SalaryEmp, "raise", Type::Void, {});
+    {
+      FunctionBuilder B("SalaryEmployee.raise", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg G = B.getField(This, Grade, Type::I64);
+      auto LErr = B.makeLabel();
+      auto LG1 = B.makeLabel();
+      auto LG2 = B.makeLabel();
+      auto LG3 = B.makeLabel();
+      auto LEnd = B.makeLabel();
+      // if (grade < 0 || grade > 3) reportError();
+      Reg C0 = B.constI(0);
+      B.cbnz(B.cmp(Opcode::CmpLT, G, C0), LErr);
+      Reg C3 = B.constI(3);
+      B.cbnz(B.cmp(Opcode::CmpGT, G, C3), LErr);
+      // if (grade == 0) salary += 1;
+      B.cbnz(B.cmp(Opcode::CmpNE, G, C0), LG1);
+      {
+        Reg S = B.getField(This, Salary, Type::F64);
+        B.putField(This, Salary, B.fadd(S, B.constF(1.0)));
+        B.br(LEnd);
+      }
+      // else if (grade == 1) salary += 2;
+      B.bind(LG1);
+      Reg C1 = B.constI(1);
+      B.cbnz(B.cmp(Opcode::CmpNE, G, C1), LG2);
+      {
+        Reg S = B.getField(This, Salary, Type::F64);
+        B.putField(This, Salary, B.fadd(S, B.constF(2.0)));
+        B.br(LEnd);
+      }
+      // else if (grade == 2) salary *= 1.01;
+      B.bind(LG2);
+      Reg C2 = B.constI(2);
+      B.cbnz(B.cmp(Opcode::CmpNE, G, C2), LG3);
+      {
+        Reg S = B.getField(This, Salary, Type::F64);
+        B.putField(This, Salary, B.fmul(S, B.constF(1.01)));
+        B.br(LEnd);
+      }
+      // else salary *= 1.02;
+      B.bind(LG3);
+      {
+        Reg S = B.getField(This, Salary, Type::F64);
+        B.putField(This, Salary, B.fmul(S, B.constF(1.02)));
+        B.br(LEnd);
+      }
+      B.bind(LErr);
+      B.callStatic(ReportError, {}, Type::Void);
+      B.bind(LEnd);
+      B.retVoid();
+      P.setBody(SalRaise, B.finalize());
+    }
+
+    // TestDriver.init(n): build the employee database. Every eighth
+    // employee is hourly; salary employees cycle through grades 0..3.
+    MethodId Init = P.defineMethod(Driver, "init", Type::Void, {Type::I64},
+                                   {.IsStatic = true});
+    {
+      FunctionBuilder B("TestDriver.init", Type::Void);
+      Reg N = B.addArg(Type::I64);
+      Reg Arr = B.newArray(Type::Ref, N);
+      B.putStatic(SalEmps, Arr);
+      Reg J = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      B.move(J, Zero);
+      auto LHead = B.makeLabel();
+      auto LBody = B.makeLabel();
+      auto LHourly = B.makeLabel();
+      auto LStore = B.makeLabel();
+      auto LDone = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, J, N), LDone);
+      B.br(LBody);
+      B.bind(LBody);
+      Reg Obj = B.newReg(Type::Ref);
+      Reg C8 = B.constI(8);
+      Reg M8 = B.rem(J, C8);
+      Reg C7 = B.constI(7);
+      B.cbnz(B.cmp(Opcode::CmpEQ, M8, C7), LHourly);
+      {
+        Reg S = B.newObject(SalaryEmp);
+        Reg C4 = B.constI(4);
+        Reg G = B.rem(J, C4);
+        B.callSpecial(SalCtor, {S, G}, Type::Void);
+        B.move(Obj, S);
+        B.br(LStore);
+      }
+      B.bind(LHourly);
+      {
+        Reg Hr = B.newObject(Hourly);
+        B.callSpecial(HourlyCtor, {Hr}, Type::Void);
+        B.move(Obj, Hr);
+        B.br(LStore);
+      }
+      B.bind(LStore);
+      B.astore(Type::Ref, Arr, J, Obj);
+      Reg One = B.constI(1);
+      B.move(J, B.add(J, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.retVoid();
+      P.setBody(Init, B.finalize());
+    }
+
+    // TestDriver.runBatch(iters): the Figure 2 main loop, plus the audit
+    // bookkeeping a database driver does per record (keeps the mutable
+    // method's share of the run realistic).
+    FieldId Audit =
+        P.defineField(Driver, "auditAcc", Type::I64, true, Access::Private);
+    MethodId RunBatch = P.defineMethod(Driver, "runBatch", Type::Void,
+                                       {Type::I64}, {.IsStatic = true});
+    {
+      FunctionBuilder B("TestDriver.runBatch", Type::Void);
+      Reg Iters = B.addArg(Type::I64);
+      Reg Arr = B.getStatic(SalEmps, Type::Ref);
+      Reg Len = B.alen(Arr);
+      Reg I = B.newReg(Type::I64);
+      Reg J = B.newReg(Type::I64);
+      Reg Acc = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      Reg C31 = B.constI(31);
+      Reg Two = B.constI(2);
+      B.move(I, Zero);
+      B.move(Acc, Zero);
+      auto LOut = B.makeLabel();
+      auto LIn = B.makeLabel();
+      auto LInDone = B.makeLabel();
+      auto LDone = B.makeLabel();
+      B.bind(LOut);
+      B.cbz(B.cmp(Opcode::CmpLT, I, Iters), LDone);
+      B.move(J, Zero);
+      B.bind(LIn);
+      B.cbz(B.cmp(Opcode::CmpLT, J, Len), LInDone);
+      Reg E = B.aload(Type::Ref, Arr, J);
+      B.callVirtual(EmpRaise, {E}, Type::Void);
+      // Audit trail: record-id hashing per processed employee.
+      B.move(Acc, B.add(B.mul(Acc, C31), B.xorI(B.shl(J, Two), I)));
+      B.move(J, B.add(J, One));
+      B.br(LIn);
+      B.bind(LInDone);
+      B.move(I, B.add(I, One));
+      B.br(LOut);
+      B.bind(LDone);
+      Reg Prev = B.getStatic(Audit, Type::I64);
+      B.putStatic(Audit, B.add(Prev, Acc));
+      B.retVoid();
+      P.setBody(RunBatch, B.finalize());
+    }
+
+    // TestDriver.checkSum(): print the total salary (semantic witness).
+    MethodId CheckSum = P.defineMethod(Driver, "checkSum", Type::Void, {},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("TestDriver.checkSum", Type::Void);
+      Reg Arr = B.getStatic(SalEmps, Type::Ref);
+      Reg Len = B.alen(Arr);
+      Reg J = B.newReg(Type::I64);
+      Reg Sum = B.newReg(Type::F64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      Reg FZero = B.constF(0.0);
+      B.move(J, Zero);
+      B.move(Sum, FZero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, J, Len), LDone);
+      Reg E = B.aload(Type::Ref, Arr, J);
+      Reg S = B.callVirtual(GetSalary, {E}, Type::F64);
+      B.move(Sum, B.fadd(Sum, S));
+      B.move(J, B.add(J, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.printNum(Sum, Type::F64);
+      Reg Err = B.getStatic(ErrCount, Type::I64);
+      B.printNum(Err, Type::I64);
+      B.retVoid();
+      P.setBody(CheckSum, B.finalize());
+    }
+  }
+
+  void driveScaled(VirtualMachine &VM, double Scale) override {
+    ProgramIds Ids(VM.program());
+    MethodId Init = Ids.method("TestDriver", "init");
+    MethodId RunBatch = Ids.method("TestDriver", "runBatch");
+    MethodId CheckSum = Ids.method("TestDriver", "checkSum");
+    VM.call(Init, {valueI(400)});
+    long Batches = static_cast<long>(600 * Scale);
+    if (Batches < 10)
+      Batches = 10;
+    for (long B = 0; B < Batches; ++B)
+      VM.call(RunBatch, {valueI(4)});
+    VM.call(CheckSum, {});
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeSalaryDb() { return std::make_unique<SalaryDb>(); }
+
+} // namespace dchm

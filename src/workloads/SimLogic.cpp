@@ -1,0 +1,325 @@
+//===-- workloads/SimLogic.cpp - Metamorphic logic simulator ------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// A gate-level logic simulator in the style of Maurer's metamorphic
+/// programming example [24]: each Gate's behavior is governed by its `kind`
+/// state field (AND/OR/XOR/NAND), dispatched in the hot eval() method.
+/// Mutation gives each kind a special TIB with eval() specialized to a
+/// single boolean operation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/Builder.h"
+
+namespace dchm {
+
+namespace {
+
+class SimLogic final : public Workload {
+public:
+  std::string name() const override { return "SimLogic"; }
+  std::string description() const override {
+    return "Simple logic simulator with state-kind gates";
+  }
+
+  void build(Program &P) override {
+    // Event counter shared by all gates (declared on its own bookkeeping
+    // class so Gate stays 'pure').
+    ClassId Stats = P.defineClass("SimStats");
+    FieldId EventsF = P.defineField(Stats, "events", Type::I64, true);
+
+    // --- class Gate ----------------------------------------------------------
+    ClassId Gate = P.defineClass("Gate");
+    FieldId Kind =
+        P.defineField(Gate, "kind", Type::I64, false, Access::Private);
+    FieldId InA = P.defineField(Gate, "inA", Type::I64, false);
+    FieldId InB = P.defineField(Gate, "inB", Type::I64, false);
+    FieldId InC = P.defineField(Gate, "inC", Type::I64, false);
+    FieldId Out = P.defineField(Gate, "out", Type::I64, false);
+    MethodId GateCtor = P.defineMethod(
+        Gate, "<init>", Type::Void,
+        {Type::I64, Type::I64, Type::I64, Type::I64, Type::I64},
+        {.IsCtor = true});
+    {
+      FunctionBuilder B("Gate.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg K = B.addArg(Type::I64);
+      Reg A = B.addArg(Type::I64);
+      Reg Bb = B.addArg(Type::I64);
+      Reg Cc = B.addArg(Type::I64);
+      Reg O = B.addArg(Type::I64);
+      B.putField(This, Kind, K);
+      B.putField(This, InA, A);
+      B.putField(This, InB, Bb);
+      B.putField(This, InC, Cc);
+      B.putField(This, Out, O);
+      B.retVoid();
+      P.setBody(GateCtor, B.finalize());
+    }
+
+    // Gate.eval(nets): nets[out] = op(nets[inA], nets[inB], nets[inC]) where
+    // op is selected by the kind state field (0 AND3, 1 OR3, 2 parity,
+    // 3 majority). The body is deliberately large (like a real simulator's
+    // gate kernel), past the inliner's size bound, so baseline and mutated
+    // runs both dispatch through the TIB.
+    MethodId Eval =
+        P.defineMethod(Gate, "eval", Type::Void, {Type::Ref});
+    {
+      FunctionBuilder B("Gate.eval", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg Nets = B.addArg(Type::Ref);
+      Reg K = B.getField(This, Kind, Type::I64);
+      Reg A = B.aload(Type::I64, Nets, B.getField(This, InA, Type::I64));
+      Reg Bv = B.aload(Type::I64, Nets, B.getField(This, InB, Type::I64));
+      Reg Cv = B.aload(Type::I64, Nets, B.getField(This, InC, Type::I64));
+      Reg Res = B.newReg(Type::I64);
+      auto L1 = B.makeLabel();
+      auto L2 = B.makeLabel();
+      auto L3 = B.makeLabel();
+      auto LStore = B.makeLabel();
+      Reg C0 = B.constI(0);
+      B.cbnz(B.cmp(Opcode::CmpNE, K, C0), L1);
+      B.move(Res, B.andI(B.andI(A, Bv), Cv));
+      B.br(LStore);
+      B.bind(L1);
+      Reg C1 = B.constI(1);
+      B.cbnz(B.cmp(Opcode::CmpNE, K, C1), L2);
+      B.move(Res, B.orI(B.orI(A, Bv), Cv));
+      B.br(LStore);
+      B.bind(L2);
+      Reg C2 = B.constI(2);
+      B.cbnz(B.cmp(Opcode::CmpNE, K, C2), L3);
+      B.move(Res, B.xorI(B.xorI(A, Bv), Cv));
+      B.br(LStore);
+      B.bind(L3);
+      // Majority of three 1-bit nets: (a&b) | (a&c) | (b&c).
+      B.move(Res, B.orI(B.orI(B.andI(A, Bv), B.andI(A, Cv)),
+                        B.andI(Bv, Cv)));
+      B.br(LStore);
+      B.bind(LStore);
+      // Event accounting: every simulator tracks toggles per net.
+      Reg OutIdx = B.getField(This, Out, Type::I64);
+      Reg Prev = B.aload(Type::I64, Nets, OutIdx);
+      Reg Toggled = B.xorI(Prev, Res);
+      Reg Ev = B.getStatic(EventsF, Type::I64);
+      B.putStatic(EventsF, B.add(Ev, Toggled));
+      B.astore(Type::I64, Nets, OutIdx, Res);
+      B.retVoid();
+      P.setBody(Eval, B.finalize());
+    }
+
+    // --- class Circuit ---------------------------------------------------------
+    ClassId Circuit = P.defineClass("Circuit");
+    FieldId Gates =
+        P.defineField(Circuit, "gates", Type::Ref, true, Access::Private);
+    FieldId Nets =
+        P.defineField(Circuit, "nets", Type::Ref, true, Access::Private);
+    FieldId NumIn = P.defineField(Circuit, "numInputs", Type::I64, true);
+    FieldId Seed = P.defineField(Circuit, "seed", Type::I64, true);
+
+    // Circuit.nextRand(): LCG in IR, used for circuit topology and stimulus.
+    MethodId NextRand = P.defineMethod(Circuit, "nextRand", Type::I64, {},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("Circuit.nextRand", Type::I64);
+      Reg S = B.getStatic(Seed, Type::I64);
+      Reg Mul = B.constI(6364136223846793005ll);
+      Reg Add = B.constI(1442695040888963407ll);
+      Reg S2 = B.add(B.mul(S, Mul), Add);
+      B.putStatic(Seed, S2);
+      Reg Sh = B.constI(33);
+      Reg Mask = B.constI(0x7FFFFFFF);
+      B.ret(B.andI(B.shr(S2, Sh), Mask));
+      P.setBody(NextRand, B.finalize());
+    }
+
+    // Circuit.init(numGates, numInputs): random DAG topology. Gate kinds are
+    // skewed (AND-heavy) so the simulator has distinct hot states.
+    MethodId Init = P.defineMethod(Circuit, "init", Type::Void,
+                                   {Type::I64, Type::I64}, {.IsStatic = true});
+    {
+      FunctionBuilder B("Circuit.init", Type::Void);
+      Reg NumGates = B.addArg(Type::I64);
+      Reg NumInputs = B.addArg(Type::I64);
+      B.putStatic(NumIn, NumInputs);
+      Reg GatesArr = B.newArray(Type::Ref, NumGates);
+      B.putStatic(Gates, GatesArr);
+      Reg NetCount = B.add(NumInputs, NumGates);
+      Reg NetsArr = B.newArray(Type::I64, NetCount);
+      B.putStatic(Nets, NetsArr);
+      Reg G = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      B.move(G, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      auto LK1 = B.makeLabel();
+      auto LK2 = B.makeLabel();
+      auto LK3 = B.makeLabel();
+      auto LKDone = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, G, NumGates), LDone);
+      // Inputs come from earlier nets only (a DAG): net index in
+      // [0, numInputs + g).
+      Reg Avail = B.add(NumInputs, G);
+      Reg RA = B.callStatic(NextRand, {}, Type::I64);
+      Reg A = B.rem(RA, Avail);
+      Reg RB = B.callStatic(NextRand, {}, Type::I64);
+      Reg Bn = B.rem(RB, Avail);
+      Reg RCc = B.callStatic(NextRand, {}, Type::I64);
+      Reg Cn = B.rem(RCc, Avail);
+      // Kind distribution: 0..9 -> 50% AND, 25% OR, 15% XOR, 10% NAND.
+      Reg RK = B.callStatic(NextRand, {}, Type::I64);
+      Reg C10 = B.constI(10);
+      Reg Bucket = B.rem(RK, C10);
+      Reg KindR = B.newReg(Type::I64);
+      Reg C5 = B.constI(5);
+      B.cbz(B.cmp(Opcode::CmpLT, Bucket, C5), LK1);
+      B.move(KindR, Zero);
+      B.br(LKDone);
+      B.bind(LK1);
+      Reg C8 = B.constI(8);
+      B.cbz(B.cmp(Opcode::CmpLT, Bucket, C8), LK2);
+      B.move(KindR, One);
+      B.br(LKDone);
+      B.bind(LK2);
+      Reg C9 = B.constI(9);
+      B.cbz(B.cmp(Opcode::CmpLT, Bucket, C9), LK3);
+      Reg Two = B.constI(2);
+      B.move(KindR, Two);
+      B.br(LKDone);
+      B.bind(LK3);
+      Reg Three = B.constI(3);
+      B.move(KindR, Three);
+      B.br(LKDone);
+      B.bind(LKDone);
+      Reg OutNet = B.add(NumInputs, G);
+      Reg GObj = B.newObject(Gate);
+      B.callSpecial(GateCtor, {GObj, KindR, A, Bn, Cn, OutNet}, Type::Void);
+      B.astore(Type::Ref, GatesArr, G, GObj);
+      B.move(G, B.add(G, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.retVoid();
+      P.setBody(Init, B.finalize());
+    }
+
+    // Circuit.step(): new random stimulus on the input nets, then evaluate
+    // every gate in topological order.
+    MethodId Step =
+        P.defineMethod(Circuit, "step", Type::Void, {}, {.IsStatic = true});
+    {
+      FunctionBuilder B("Circuit.step", Type::Void);
+      Reg NetsArr = B.getStatic(Nets, Type::Ref);
+      Reg NumInputs = B.getStatic(NumIn, Type::I64);
+      Reg I = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      Reg Two = B.constI(2);
+      B.move(I, Zero);
+      auto LIn = B.makeLabel();
+      auto LInDone = B.makeLabel();
+      B.bind(LIn);
+      B.cbz(B.cmp(Opcode::CmpLT, I, NumInputs), LInDone);
+      Reg R = B.callStatic(NextRand, {}, Type::I64);
+      B.astore(Type::I64, NetsArr, I, B.rem(R, Two));
+      B.move(I, B.add(I, One));
+      B.br(LIn);
+      B.bind(LInDone);
+      Reg GatesArr = B.getStatic(Gates, Type::Ref);
+      Reg NumGates = B.alen(GatesArr);
+      Reg G = B.newReg(Type::I64);
+      B.move(G, Zero);
+      auto LG = B.makeLabel();
+      auto LGDone = B.makeLabel();
+      B.bind(LG);
+      B.cbz(B.cmp(Opcode::CmpLT, G, NumGates), LGDone);
+      Reg GObj = B.aload(Type::Ref, GatesArr, G);
+      B.callVirtual(Eval, {GObj, NetsArr}, Type::Void);
+      B.move(G, B.add(G, One));
+      B.br(LG);
+      B.bind(LGDone);
+      B.retVoid();
+      P.setBody(Step, B.finalize());
+    }
+
+    // --- class SimMain -----------------------------------------------------
+    ClassId Main = P.defineClass("SimMain");
+    MethodId Run = P.defineMethod(Main, "run", Type::Void, {Type::I64},
+                                  {.IsStatic = true});
+    {
+      FunctionBuilder B("SimMain.run", Type::Void);
+      Reg Steps = B.addArg(Type::I64);
+      Reg T = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      B.move(T, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, T, Steps), LDone);
+      B.callStatic(Step, {}, Type::Void);
+      B.move(T, B.add(T, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.retVoid();
+      P.setBody(Run, B.finalize());
+    }
+    MethodId CheckSum = P.defineMethod(Main, "checkSum", Type::Void, {},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("SimMain.checkSum", Type::Void);
+      Reg NetsArr = B.getStatic(Nets, Type::Ref);
+      Reg Len = B.alen(NetsArr);
+      Reg I = B.newReg(Type::I64);
+      Reg Sum = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      B.move(I, Zero);
+      B.move(Sum, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, I, Len), LDone);
+      Reg V = B.aload(Type::I64, NetsArr, I);
+      Reg Mul = B.constI(31);
+      B.move(Sum, B.add(B.mul(Sum, Mul), V));
+      B.move(I, B.add(I, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.printNum(Sum, Type::I64);
+      Reg Ev = B.getStatic(EventsF, Type::I64);
+      B.printNum(Ev, Type::I64);
+      B.retVoid();
+      P.setBody(CheckSum, B.finalize());
+    }
+  }
+
+  void driveScaled(VirtualMachine &VM, double Scale) override {
+    ProgramIds Ids(VM.program());
+    // Seed the LCG deterministically.
+    VM.program().setStaticSlot(
+        VM.program().field(Ids.field("Circuit", "seed")).Slot,
+        valueI(0x1234567));
+    VM.call(Ids.method("Circuit", "init"), {valueI(96), valueI(16)});
+    long Batches = static_cast<long>(220 * Scale);
+    if (Batches < 8)
+      Batches = 8;
+    MethodId Run = Ids.method("SimMain", "run");
+    for (long I = 0; I < Batches; ++I)
+      VM.call(Run, {valueI(24)});
+    VM.call(Ids.method("SimMain", "checkSum"), {});
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeSimLogic() { return std::make_unique<SimLogic>(); }
+
+} // namespace dchm

@@ -1,0 +1,312 @@
+//===-- workloads/WekaMini.cpp - Data mining tool set -------------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Models Weka 3.2.3: a small classifier tool set evaluated over a synthetic
+/// dataset. The NaiveBayesLite classifier's scoring mode and smoothing are
+/// configuration state fixed at construction (one distinct hot state); its
+/// score() loop is the hot mutable method. The Evaluator holds the
+/// classifier in a private exact-type reference field, so the configuration
+/// fields are object lifetime constants (specialization inlining).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/Builder.h"
+
+namespace dchm {
+
+namespace {
+
+class WekaMini final : public Workload {
+public:
+  std::string name() const override { return "Weka"; }
+  std::string description() const override {
+    return "Data mining algorithm tool set (classifier evaluation)";
+  }
+
+  void build(Program &P) override {
+    // --- class Dataset: flattened feature matrix + labels --------------------
+    ClassId Data = P.defineClass("Dataset");
+    FieldId Features =
+        P.defineField(Data, "featArr", Type::Ref, true, Access::Private);
+    FieldId Labels =
+        P.defineField(Data, "labels", Type::Ref, true, Access::Private);
+    FieldId NumAttrs = P.defineField(Data, "numAttrs", Type::I64, true);
+    FieldId NumInst = P.defineField(Data, "numInst", Type::I64, true);
+    FieldId Seed = P.defineField(Data, "seed", Type::I64, true);
+
+    MethodId NextRand = P.defineMethod(Data, "nextRand", Type::I64, {},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("Dataset.nextRand", Type::I64);
+      Reg S = B.getStatic(Seed, Type::I64);
+      Reg Mul = B.constI(48271);
+      Reg S2 = B.mul(S, Mul);
+      Reg Mod = B.constI(2147483647);
+      Reg S3 = B.rem(S2, Mod);
+      B.putStatic(Seed, S3);
+      B.ret(S3);
+      P.setBody(NextRand, B.finalize());
+    }
+
+    MethodId InitData = P.defineMethod(
+        Data, "init", Type::Void, {Type::I64, Type::I64}, {.IsStatic = true});
+    {
+      FunctionBuilder B("Dataset.init", Type::Void);
+      Reg NInst = B.addArg(Type::I64);
+      Reg NAttr = B.addArg(Type::I64);
+      B.putStatic(NumInst, NInst);
+      B.putStatic(NumAttrs, NAttr);
+      Reg Total = B.mul(NInst, NAttr);
+      Reg F = B.newArray(Type::F64, Total);
+      B.putStatic(Features, F);
+      Reg L = B.newArray(Type::I64, NInst);
+      B.putStatic(Labels, L);
+      Reg I = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      B.move(I, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, I, Total), LDone);
+      Reg R = B.callStatic(NextRand, {}, Type::I64);
+      Reg C1000 = B.constI(1000);
+      Reg V = B.rem(R, C1000);
+      Reg FV = B.i2f(V);
+      Reg Scale = B.constF(0.001);
+      B.astore(Type::F64, F, I, B.fmul(FV, Scale));
+      B.move(I, B.add(I, One));
+      B.br(LHead);
+      B.bind(LDone);
+      Reg J = B.newReg(Type::I64);
+      B.move(J, Zero);
+      auto LH2 = B.makeLabel();
+      auto LD2 = B.makeLabel();
+      B.bind(LH2);
+      B.cbz(B.cmp(Opcode::CmpLT, J, NInst), LD2);
+      Reg R2 = B.callStatic(NextRand, {}, Type::I64);
+      Reg Two = B.constI(2);
+      B.astore(Type::I64, L, J, B.rem(R2, Two));
+      B.move(J, B.add(J, One));
+      B.br(LH2);
+      B.bind(LD2);
+      B.retVoid();
+      P.setBody(InitData, B.finalize());
+    }
+
+    // --- class Classifier (abstract-ish base) --------------------------------
+    ClassId Clf = P.defineClass("Classifier");
+    MethodId ClfCtor =
+        P.defineMethod(Clf, "<init>", Type::Void, {}, {.IsCtor = true});
+    {
+      FunctionBuilder B("Classifier.<init>", Type::Void);
+      B.addArg(Type::Ref);
+      B.retVoid();
+      P.setBody(ClfCtor, B.finalize());
+    }
+    // score(instIdx): base implementation returns 0.5 (uninformative).
+    MethodId Score = P.defineMethod(Clf, "score", Type::F64, {Type::I64});
+    {
+      FunctionBuilder B("Classifier.score", Type::F64);
+      B.addArg(Type::Ref);
+      B.addArg(Type::I64);
+      B.ret(B.constF(0.5));
+      P.setBody(Score, B.finalize());
+    }
+
+    // --- class NaiveBayesLite extends Classifier (mutable) --------------------
+    ClassId Nb = P.defineClass("NaiveBayesLite", Clf);
+    FieldId Mode =
+        P.defineField(Nb, "mode", Type::I64, false, Access::Private);
+    FieldId Laplace =
+        P.defineField(Nb, "laplace", Type::I64, false, Access::Private);
+    MethodId NbCtor =
+        P.defineMethod(Nb, "<init>", Type::Void, {}, {.IsCtor = true});
+    {
+      FunctionBuilder B("NaiveBayesLite.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      B.callSpecial(ClfCtor, {This}, Type::Void);
+      Reg One = B.constI(1);
+      B.putField(This, Mode, One);
+      Reg Zero = B.constI(0);
+      B.putField(This, Laplace, Zero);
+      B.retVoid();
+      P.setBody(NbCtor, B.finalize());
+    }
+    // score(i): walk the instance's attributes; branch on mode/laplace state
+    // inside the hot loop.
+    MethodId NbScore = P.defineMethod(Nb, "score", Type::F64, {Type::I64});
+    {
+      FunctionBuilder B("NaiveBayesLite.score", Type::F64);
+      Reg This = B.addArg(Type::Ref);
+      Reg Idx = B.addArg(Type::I64);
+      Reg F = B.getStatic(Features, Type::Ref);
+      Reg NAttr = B.getStatic(NumAttrs, Type::I64);
+      Reg Base = B.mul(Idx, NAttr);
+      Reg A = B.newReg(Type::I64);
+      Reg Acc = B.newReg(Type::F64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      Reg FOne = B.constF(1.0);
+      B.move(A, Zero);
+      B.move(Acc, FOne);
+      // Estimator coefficients selected once per call from the mode state
+      // field (the loop kernel itself is mode-independent).
+      Reg K1 = B.newReg(Type::F64);
+      Reg K2 = B.newReg(Type::F64);
+      {
+        Reg M = B.getField(This, Mode, Type::I64);
+        auto LRawMode = B.makeLabel();
+        auto LModeDone = B.makeLabel();
+        B.cbz(M, LRawMode);
+        Reg Half = B.constF(0.45);
+        B.move(K1, Half);
+        Reg Quarter = B.constF(0.275);
+        B.move(K2, Quarter);
+        B.br(LModeDone);
+        B.bind(LRawMode);
+        Reg RawK1 = B.constF(0.9);
+        B.move(K1, RawK1);
+        Reg RawK2 = B.constF(0.05);
+        B.move(K2, RawK2);
+        B.br(LModeDone);
+        B.bind(LModeDone);
+      }
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, A, NAttr), LDone);
+      Reg V = B.aload(Type::F64, F, B.add(Base, A));
+      B.move(Acc, B.fmul(Acc, B.fadd(B.fmul(V, K1), K2)));
+      B.move(A, B.add(A, One));
+      B.br(LHead);
+      B.bind(LDone);
+      // if (laplace != 0) acc = acc + 0.001 (post-loop smoothing).
+      Reg Lap = B.getField(This, Laplace, Type::I64);
+      auto LNext = B.makeLabel();
+      B.cbz(Lap, LNext);
+      Reg Eps = B.constF(0.001);
+      B.move(Acc, B.fadd(Acc, Eps));
+      B.bind(LNext);
+      B.ret(Acc);
+      P.setBody(NbScore, B.finalize());
+    }
+
+    // --- class Evaluator -------------------------------------------------------
+    ClassId Eval = P.defineClass("Evaluator");
+    FieldId ClfRef =
+        P.defineField(Eval, "clf", Type::Ref, false, Access::Private);
+    FieldId Correct =
+        P.defineField(Eval, "correct", Type::I64, false, Access::Package);
+    MethodId EvalCtor =
+        P.defineMethod(Eval, "<init>", Type::Void, {}, {.IsCtor = true});
+    {
+      FunctionBuilder B("Evaluator.<init>", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg C = B.newObject(Nb);
+      B.callSpecial(NbCtor, {C}, Type::Void);
+      B.putField(This, ClfRef, C);
+      Reg Zero = B.constI(0);
+      B.putField(This, Correct, Zero);
+      B.retVoid();
+      P.setBody(EvalCtor, B.finalize());
+    }
+    // evalAll(): score every instance, compare against its label.
+    MethodId EvalAll = P.defineMethod(Eval, "evalAll", Type::Void, {});
+    {
+      FunctionBuilder B("Evaluator.evalAll", Type::Void);
+      Reg This = B.addArg(Type::Ref);
+      Reg NInst = B.getStatic(NumInst, Type::I64);
+      Reg L = B.getStatic(Labels, Type::Ref);
+      Reg I = B.newReg(Type::I64);
+      Reg Zero = B.constI(0);
+      Reg One = B.constI(1);
+      B.move(I, Zero);
+      auto LHead = B.makeLabel();
+      auto LDone = B.makeLabel();
+      auto LSkip = B.makeLabel();
+      B.bind(LHead);
+      B.cbz(B.cmp(Opcode::CmpLT, I, NInst), LDone);
+      Reg C = B.getField(This, ClfRef, Type::Ref);
+      Reg S = B.callVirtual(Score, {C, I}, Type::F64);
+      Reg Thresh = B.constF(0.08);
+      Reg Pred = B.cmp(Opcode::FCmpLT, Thresh, S);
+      Reg Lab = B.aload(Type::I64, L, I);
+      B.cbz(B.cmp(Opcode::CmpEQ, Pred, Lab), LSkip);
+      Reg Cor = B.getField(This, Correct, Type::I64);
+      B.putField(This, Correct, B.add(Cor, One));
+      B.bind(LSkip);
+      B.move(I, B.add(I, One));
+      B.br(LHead);
+      B.bind(LDone);
+      B.retVoid();
+      P.setBody(EvalAll, B.finalize());
+    }
+
+    // --- class WekaMain ---------------------------------------------------------
+    ClassId Main = P.defineClass("WekaMain");
+    FieldId FEval =
+        P.defineField(Main, "evaluator", Type::Ref, true, Access::Private);
+    MethodId InitMain = P.defineMethod(Main, "init", Type::Void,
+                                       {Type::I64, Type::I64},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("WekaMain.init", Type::Void);
+      Reg NInst = B.addArg(Type::I64);
+      Reg NAttr = B.addArg(Type::I64);
+      B.callStatic(InitData, {NInst, NAttr}, Type::Void);
+      Reg E = B.newObject(Eval);
+      B.callSpecial(EvalCtor, {E}, Type::Void);
+      B.putStatic(FEval, E);
+      B.retVoid();
+      P.setBody(InitMain, B.finalize());
+    }
+    MethodId RunMain = P.defineMethod(Main, "run", Type::Void, {},
+                                      {.IsStatic = true});
+    {
+      FunctionBuilder B("WekaMain.run", Type::Void);
+      Reg E = B.getStatic(FEval, Type::Ref);
+      B.callVirtual(EvalAll, {E}, Type::Void);
+      B.retVoid();
+      P.setBody(RunMain, B.finalize());
+    }
+    MethodId CheckSum = P.defineMethod(Main, "checkSum", Type::Void, {},
+                                       {.IsStatic = true});
+    {
+      FunctionBuilder B("WekaMain.checkSum", Type::Void);
+      Reg E = B.getStatic(FEval, Type::Ref);
+      Reg Cor = B.getField(E, Correct, Type::I64);
+      B.printNum(Cor, Type::I64);
+      B.retVoid();
+      P.setBody(CheckSum, B.finalize());
+    }
+  }
+
+  void driveScaled(VirtualMachine &VM, double Scale) override {
+    ProgramIds Ids(VM.program());
+    VM.program().setStaticSlot(
+        VM.program().field(Ids.field("Dataset", "seed")).Slot, valueI(20060325));
+    VM.call(Ids.method("WekaMain", "init"), {valueI(300), valueI(24)});
+    long Batches = static_cast<long>(130 * Scale);
+    if (Batches < 6)
+      Batches = 6;
+    MethodId Run = Ids.method("WekaMain", "run");
+    for (long I = 0; I < Batches; ++I)
+      VM.call(Run, {});
+    VM.call(Ids.method("WekaMain", "checkSum"), {});
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeWekaMini() {
+  return std::make_unique<WekaMini>();
+}
+
+} // namespace dchm

@@ -1,0 +1,136 @@
+//===-- tests/AssemblerFuzzTest.cpp - Assembler robustness sweeps -------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Robustness property: assembleProgram never crashes or aborts — malformed
+/// input always comes back as a diagnostic. The sweep mutates a valid
+/// program with random deletions/truncations/character flips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace dchm;
+
+namespace {
+
+const char *ValidProgram = R"(
+class Pair {
+  field a: i64
+  field b: f64 private
+  ctor <init>(%x: i64) {
+    putfield %this, Pair.a, %x
+    %z = constf 0.5
+    putfield %this, Pair.b, %z
+    ret
+  }
+  method sum() -> i64 {
+    %a = getfield %this, Pair.a
+    %bf = getfield %this, Pair.b
+    %bi = f2i %bf
+    %s = add %a, %bi
+    ret %s
+  }
+}
+class Main {
+  method main(%n: i64) -> i64 static {
+    %p = new Pair
+    callspecial Pair.<init>(%p, %n)
+    %acc = consti 0
+    %i = consti 0
+    %one = consti 1
+  @head:
+    %t = cmplt %i, %n
+    cbz %t, @done
+    %v = callvirtual Pair.sum(%p)
+    %acc = add %acc, %v
+    %i = add %i, %one
+    br @head
+  @done:
+    ret %acc
+  }
+}
+)";
+
+TEST(AssemblerFuzz, ValidBaselineAssembles) {
+  auto R = assembleProgram(ValidProgram);
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, TruncationsNeverCrash) {
+  std::string Src = ValidProgram;
+  Rng R(GetParam());
+  size_t Cut = R.nextBelow(Src.size());
+  auto Res = assembleProgram(Src.substr(0, Cut));
+  // Either it still assembles (cut fell between items) or it reports an
+  // error with a line number; it must never crash.
+  if (!Res.ok()) {
+    EXPECT_NE(Res.Error.find("line"), std::string::npos) << Res.Error;
+  }
+}
+
+TEST_P(FuzzSweep, CharacterFlipsNeverCrash) {
+  std::string Src = ValidProgram;
+  Rng R(GetParam() * 7919 + 3);
+  for (int Flip = 0; Flip < 4; ++Flip) {
+    size_t At = R.nextBelow(Src.size());
+    Src[At] = static_cast<char>(' ' + R.nextBelow(95));
+  }
+  auto Res = assembleProgram(Src);
+  (void)Res; // ok or error: both fine, crashing is not
+  SUCCEED();
+}
+
+TEST_P(FuzzSweep, LineDeletionsNeverCrash) {
+  std::string Src = ValidProgram;
+  Rng R(GetParam() * 31 + 17);
+  // Delete one random line.
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Src.size(); ++I) {
+    if (I == Src.size() || Src[I] == '\n') {
+      Lines.push_back(Src.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  Lines.erase(Lines.begin() +
+              static_cast<long>(R.nextBelow(Lines.size())));
+  std::string Out;
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  auto Res = assembleProgram(Out);
+  (void)Res;
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range<uint64_t>(1, 26));
+
+TEST(AssemblerFuzz, GarbageInputsReportErrors) {
+  const char *Garbage[] = {
+      "",
+      "}}}}{{{{",
+      "class",
+      "class A extends",
+      "class A { field }",
+      "class A { method m( { ret } }",
+      "interface I { method m() -> i64 { ret } }",
+      "class A { method m() -> i64 static { %x = consti } }",
+      "class A { method m() -> void static { br @nowhere ret } }",
+      "\xff\xfe\x01\x02",
+  };
+  for (const char *G : Garbage) {
+    auto R = assembleProgram(G);
+    EXPECT_FALSE(R.ok()) << "accepted garbage: " << G;
+    EXPECT_FALSE(R.Error.empty());
+  }
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+//===-- tests/CfgTest.cpp - CFG, dominators, loop nesting ---------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/CFG.h"
+
+#include <gtest/gtest.h>
+
+using namespace dchm;
+
+namespace {
+
+/// Straight-line function: a single block, no loops.
+TEST(Cfg, StraightLineIsOneBlock) {
+  FunctionBuilder B("f", Type::I64);
+  Reg A = B.addArg(Type::I64);
+  Reg S = B.add(A, A);
+  Reg M = B.mul(S, A);
+  B.ret(M);
+  IRFunction F = B.finalize();
+  CFG G(F);
+  EXPECT_EQ(G.numBlocks(), 1u);
+  EXPECT_EQ(G.numLoops(), 0u);
+  EXPECT_EQ(G.loopDepthOfInst(0), 0u);
+}
+
+/// Builds an if-then-else diamond and checks block structure + dominance.
+TEST(Cfg, DiamondDominance) {
+  FunctionBuilder B("f", Type::I64);
+  Reg A = B.addArg(Type::I64);
+  Reg Out = B.newReg(Type::I64);
+  auto LElse = B.makeLabel();
+  auto LJoin = B.makeLabel();
+  B.cbz(A, LElse);            // block 0
+  Reg One = B.constI(1);      // block 1 (then)
+  B.move(Out, One);
+  B.br(LJoin);
+  B.bind(LElse);              // block 2 (else)
+  Reg Two = B.constI(2);
+  B.move(Out, Two);
+  B.br(LJoin);
+  B.bind(LJoin);              // block 3 (join)
+  B.ret(Out);
+  IRFunction F = B.finalize();
+  CFG G(F);
+  ASSERT_EQ(G.numBlocks(), 4u);
+  uint32_t Entry = G.blockOfInst(0);
+  uint32_t Then = G.blockOfInst(1);
+  uint32_t Else = G.blockOfInst(4);
+  uint32_t Join = G.blockOfInst(static_cast<uint32_t>(F.Insts.size() - 1));
+  EXPECT_TRUE(G.dominates(Entry, Then));
+  EXPECT_TRUE(G.dominates(Entry, Else));
+  EXPECT_TRUE(G.dominates(Entry, Join));
+  EXPECT_FALSE(G.dominates(Then, Join));
+  EXPECT_FALSE(G.dominates(Else, Join));
+  EXPECT_EQ(G.idom(Join), Entry);
+}
+
+/// A single counted loop: body depth 1, prologue/epilogue depth 0.
+TEST(Cfg, SingleLoopDepth) {
+  FunctionBuilder B("f", Type::Void);
+  Reg N = B.addArg(Type::I64);
+  Reg I = B.newReg(Type::I64);
+  Reg Zero = B.constI(0);
+  Reg One = B.constI(1);
+  B.move(I, Zero);
+  auto LHead = B.makeLabel();
+  auto LDone = B.makeLabel();
+  B.bind(LHead);
+  uint32_t HeadInst = static_cast<uint32_t>(B.size());
+  B.cbz(B.cmp(Opcode::CmpLT, I, N), LDone);
+  uint32_t BodyInst = static_cast<uint32_t>(B.size());
+  B.move(I, B.add(I, One));
+  B.br(LHead);
+  B.bind(LDone);
+  B.retVoid();
+  IRFunction F = B.finalize();
+  CFG G(F);
+  EXPECT_EQ(G.numLoops(), 1u);
+  EXPECT_EQ(G.loopDepthOfInst(0), 0u); // prologue
+  EXPECT_GE(G.loopDepthOfInst(HeadInst), 1u);
+  EXPECT_GE(G.loopDepthOfInst(BodyInst), 1u);
+  EXPECT_EQ(G.loopDepthOfInst(static_cast<uint32_t>(F.Insts.size() - 1)), 0u);
+}
+
+/// Nested loops: the inner body must have depth 2.
+TEST(Cfg, NestedLoopDepth) {
+  FunctionBuilder B("f", Type::Void);
+  Reg N = B.addArg(Type::I64);
+  Reg I = B.newReg(Type::I64);
+  Reg J = B.newReg(Type::I64);
+  Reg Zero = B.constI(0);
+  Reg One = B.constI(1);
+  B.move(I, Zero);
+  auto LOut = B.makeLabel();
+  auto LIn = B.makeLabel();
+  auto LInDone = B.makeLabel();
+  auto LDone = B.makeLabel();
+  B.bind(LOut);
+  B.cbz(B.cmp(Opcode::CmpLT, I, N), LDone);
+  B.move(J, Zero);
+  B.bind(LIn);
+  B.cbz(B.cmp(Opcode::CmpLT, J, N), LInDone);
+  uint32_t InnerBody = static_cast<uint32_t>(B.size());
+  B.move(J, B.add(J, One));
+  B.br(LIn);
+  B.bind(LInDone);
+  B.move(I, B.add(I, One));
+  B.br(LOut);
+  B.bind(LDone);
+  B.retVoid();
+  IRFunction F = B.finalize();
+  CFG G(F);
+  EXPECT_EQ(G.numLoops(), 2u);
+  EXPECT_EQ(G.loopDepthOfInst(InnerBody), 2u);
+  EXPECT_EQ(G.loopDepthOfInst(0), 0u);
+}
+
+/// Code after an unconditional return is unreachable.
+TEST(Cfg, UnreachableBlockDetected) {
+  FunctionBuilder B("f", Type::I64);
+  Reg A = B.addArg(Type::I64);
+  B.ret(A);
+  Reg Dead = B.constI(42);
+  B.ret(Dead);
+  IRFunction F = B.finalize();
+  CFG G(F);
+  EXPECT_TRUE(G.isReachable(G.blockOfInst(0)));
+  EXPECT_FALSE(G.isReachable(G.blockOfInst(1)));
+}
+
+/// Self-loop: a block branching to itself is a loop of depth 1.
+TEST(Cfg, SelfLoop) {
+  FunctionBuilder B("f", Type::Void);
+  Reg A = B.addArg(Type::I64);
+  auto L = B.makeLabel();
+  B.bind(L);
+  uint32_t LoopInst = static_cast<uint32_t>(B.size());
+  B.cbnz(A, L);
+  B.retVoid();
+  IRFunction F = B.finalize();
+  CFG G(F);
+  EXPECT_EQ(G.numLoops(), 1u);
+  EXPECT_EQ(G.loopDepthOfInst(LoopInst), 1u);
+}
+
+/// Predecessor/successor symmetry across all blocks.
+TEST(Cfg, EdgeSymmetry) {
+  FunctionBuilder B("f", Type::Void);
+  Reg A = B.addArg(Type::I64);
+  auto L1 = B.makeLabel();
+  auto L2 = B.makeLabel();
+  B.cbz(A, L1);
+  B.br(L2);
+  B.bind(L1);
+  B.br(L2);
+  B.bind(L2);
+  B.retVoid();
+  IRFunction F = B.finalize();
+  CFG G(F);
+  for (uint32_t Bl = 0; Bl < G.numBlocks(); ++Bl) {
+    for (uint32_t S : G.blocks()[Bl].Succs) {
+      const auto &Preds = G.blocks()[S].Preds;
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), Bl), Preds.end());
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,276 @@
+//===-- tests/LinkerTest.cpp - Program linking unit tests ---------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "runtime/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace dchm;
+
+namespace {
+
+TEST(Linker, InstanceFieldLayoutIncludesSuperclass) {
+  Program P;
+  ClassId A = P.defineClass("A");
+  FieldId FA = P.defineField(A, "a", Type::I64, false);
+  ClassId B = P.defineClass("B", A);
+  FieldId FB = P.defineField(B, "b", Type::F64, false);
+  FieldId FC = P.defineField(B, "c", Type::Ref, false);
+  P.link();
+  EXPECT_EQ(P.field(FA).Slot, 0u);
+  EXPECT_EQ(P.field(FB).Slot, 1u);
+  EXPECT_EQ(P.field(FC).Slot, 2u);
+  EXPECT_EQ(P.cls(A).SlotTypes.size(), 1u);
+  ASSERT_EQ(P.cls(B).SlotTypes.size(), 3u);
+  EXPECT_EQ(P.cls(B).SlotTypes[1], Type::F64);
+  EXPECT_EQ(P.cls(B).SlotTypes[2], Type::Ref);
+}
+
+TEST(Linker, StaticFieldsGetJtocSlots) {
+  Program P;
+  ClassId A = P.defineClass("A");
+  FieldId F1 = P.defineField(A, "s1", Type::I64, true);
+  FieldId F2 = P.defineField(A, "s2", Type::Ref, true);
+  P.link();
+  EXPECT_NE(P.field(F1).Slot, P.field(F2).Slot);
+  EXPECT_EQ(P.numStaticSlots(), 2u);
+  EXPECT_EQ(P.staticSlotType(P.field(F2).Slot), Type::Ref);
+}
+
+/// Builds A.m virtual, B overrides it, C inherits B's override.
+struct OverrideFixture {
+  Program P;
+  ClassId A, B, C;
+  MethodId Am, Bm;
+
+  OverrideFixture() {
+    A = P.defineClass("A");
+    Am = P.defineMethod(A, "m", Type::I64, {});
+    {
+      FunctionBuilder F("A.m", Type::I64);
+      F.addArg(Type::Ref);
+      F.ret(F.constI(1));
+      P.setBody(Am, F.finalize());
+    }
+    B = P.defineClass("B", A);
+    Bm = P.defineMethod(B, "m", Type::I64, {});
+    {
+      FunctionBuilder F("B.m", Type::I64);
+      F.addArg(Type::Ref);
+      F.ret(F.constI(2));
+      P.setBody(Bm, F.finalize());
+    }
+    C = P.defineClass("C", B);
+    P.link();
+  }
+};
+
+TEST(Linker, OverrideSharesVtableSlot) {
+  OverrideFixture Fx;
+  EXPECT_EQ(Fx.P.method(Fx.Am).VSlot, Fx.P.method(Fx.Bm).VSlot);
+  EXPECT_EQ(Fx.P.method(Fx.Bm).SlotRoot, Fx.Am);
+}
+
+TEST(Linker, SubclassVtableInheritsOverride) {
+  OverrideFixture Fx;
+  uint32_t Slot = Fx.P.method(Fx.Am).VSlot;
+  EXPECT_EQ(Fx.P.cls(Fx.A).VTable[Slot], Fx.Am);
+  EXPECT_EQ(Fx.P.cls(Fx.B).VTable[Slot], Fx.Bm);
+  EXPECT_EQ(Fx.P.cls(Fx.C).VTable[Slot], Fx.Bm);
+}
+
+TEST(Linker, PrivateMethodsDoNotOverride) {
+  Program P;
+  ClassId A = P.defineClass("A");
+  MethodId Am = P.defineMethod(A, "m", Type::I64, {}, {.IsPrivate = true});
+  {
+    FunctionBuilder F("A.m", Type::I64);
+    F.addArg(Type::Ref);
+    F.ret(F.constI(1));
+    P.setBody(Am, F.finalize());
+  }
+  ClassId B = P.defineClass("B", A);
+  MethodId Bm = P.defineMethod(B, "m", Type::I64, {}, {.IsPrivate = true});
+  {
+    FunctionBuilder F("B.m", Type::I64);
+    F.addArg(Type::Ref);
+    F.ret(F.constI(2));
+    P.setBody(Bm, F.finalize());
+  }
+  P.link();
+  EXPECT_NE(P.method(Am).VSlot, P.method(Bm).VSlot);
+}
+
+TEST(Linker, DifferentSignatureGetsOwnSlot) {
+  Program P;
+  ClassId A = P.defineClass("A");
+  MethodId M1 = P.defineMethod(A, "m", Type::I64, {});
+  {
+    FunctionBuilder F("A.m", Type::I64);
+    F.addArg(Type::Ref);
+    F.ret(F.constI(1));
+    P.setBody(M1, F.finalize());
+  }
+  ClassId B = P.defineClass("B", A);
+  MethodId M2 = P.defineMethod(B, "m", Type::I64, {Type::I64}); // overload
+  {
+    FunctionBuilder F("B.m", Type::I64);
+    F.addArg(Type::Ref);
+    Reg X = F.addArg(Type::I64);
+    F.ret(X);
+    P.setBody(M2, F.finalize());
+  }
+  P.link();
+  EXPECT_NE(P.method(M1).VSlot, P.method(M2).VSlot);
+}
+
+TEST(Linker, SubtypeRelation) {
+  test::CounterFixture Fx;
+  Program &P = *Fx.P;
+  EXPECT_TRUE(P.isSubtype(Fx.SubCounter, Fx.Counter));
+  EXPECT_TRUE(P.isSubtype(Fx.Counter, Fx.Counter));
+  EXPECT_FALSE(P.isSubtype(Fx.Counter, Fx.SubCounter));
+  // Interface subtyping, including inheritance of interfaces.
+  EXPECT_TRUE(P.isSubtype(Fx.Counter, Fx.Iface));
+  EXPECT_TRUE(P.isSubtype(Fx.SubCounter, Fx.Iface));
+  EXPECT_FALSE(P.isSubtype(Fx.Driver, Fx.Iface));
+}
+
+TEST(Linker, ImtSlotAssigned) {
+  test::CounterFixture Fx;
+  Program &P = *Fx.P;
+  ASSERT_NE(P.cls(Fx.Counter).Imt, nullptr);
+  uint32_t Slot = Fx.IfaceBump % NumImtSlots;
+  const ImtEntry &E = P.cls(Fx.Counter).Imt->Slots[Slot];
+  EXPECT_EQ(E.K, ImtEntry::Kind::Direct);
+  EXPECT_EQ(E.DirectImpl, Fx.Bump);
+}
+
+TEST(Linker, ImtConflictWhenMethodsCollide) {
+  Program P;
+  // Two interfaces whose method ids collide mod NumImtSlots: define
+  // NumImtSlots filler methods so ids wrap around.
+  ClassId I1 = P.defineInterface("I1");
+  MethodId M1 = P.defineMethod(I1, "f1", Type::Void, {});
+  ClassId I2 = P.defineInterface("I2");
+  // Pad method ids to force M2 % NumImtSlots == M1 % NumImtSlots.
+  while ((P.numMethods() % NumImtSlots) != (M1 % NumImtSlots))
+    P.defineMethod(I2, "pad" + std::to_string(P.numMethods()), Type::Void, {});
+  MethodId M2 = P.defineMethod(I2, "f2", Type::Void, {});
+  ASSERT_EQ(M1 % NumImtSlots, M2 % NumImtSlots);
+
+  ClassId C = P.defineClass("C");
+  P.addInterface(C, I1);
+  P.addInterface(C, I2);
+  // C must implement every interface method (including the pads).
+  for (size_t M = 0; M < P.numMethods(); ++M) {
+    const MethodInfo &MI = P.method(static_cast<MethodId>(M));
+    if (!P.cls(MI.Owner).IsInterface)
+      continue;
+    MethodId Impl = P.defineMethod(C, MI.Name, MI.RetTy, MI.ParamTys);
+    FunctionBuilder F("C." + MI.Name, Type::Void);
+    F.addArg(Type::Ref);
+    F.retVoid();
+    P.setBody(Impl, F.finalize());
+  }
+  P.link();
+  const ImtEntry &E = P.cls(C).Imt->Slots[M1 % NumImtSlots];
+  EXPECT_EQ(E.K, ImtEntry::Kind::Conflict);
+  EXPECT_GE(E.Table.size(), 2u);
+}
+
+TEST(Linker, ResolvesFieldSlotsIntoInstructions) {
+  test::CounterFixture Fx;
+  const MethodInfo &M = Fx.P->method(Fx.Bump);
+  bool SawResolvedGetField = false;
+  for (const Instruction &I : M.Bytecode.Insts)
+    if (I.Op == Opcode::GetField &&
+        static_cast<FieldId>(I.Imm) == Fx.Mode)
+      SawResolvedGetField = I.Aux == Fx.P->field(Fx.Mode).Slot;
+  EXPECT_TRUE(SawResolvedGetField);
+}
+
+TEST(Linker, ClassTibCreatedWithNullSlots) {
+  test::CounterFixture Fx;
+  const ClassInfo &C = Fx.P->cls(Fx.Counter);
+  ASSERT_NE(C.ClassTib, nullptr);
+  EXPECT_EQ(C.ClassTib->StateIndex, -1);
+  EXPECT_EQ(C.ClassTib->Slots.size(), C.VTable.size());
+  for (CompiledMethod *CM : C.ClassTib->Slots)
+    EXPECT_EQ(CM, nullptr); // lazy compilation
+  EXPECT_EQ(C.ClassTib->Cls, &C);
+}
+
+TEST(Linker, TibSizeAccounting) {
+  test::CounterFixture Fx;
+  size_t Expected = 0;
+  for (size_t C = 0; C < Fx.P->numClasses(); ++C) {
+    const ClassInfo &CI = Fx.P->cls(static_cast<ClassId>(C));
+    if (CI.ClassTib)
+      Expected += CI.ClassTib->sizeBytes();
+  }
+  EXPECT_EQ(Fx.P->classTibBytes(), Expected);
+  EXPECT_EQ(Fx.P->specialTibBytes(), 0u);
+}
+
+TEST(LinkerDeath, DuplicateClassName) {
+  Program P;
+  P.defineClass("A");
+  EXPECT_DEATH(P.defineClass("A"), "duplicate");
+}
+
+TEST(LinkerDeath, MissingBody) {
+  Program P;
+  ClassId A = P.defineClass("A");
+  P.defineMethod(A, "m", Type::Void, {});
+  EXPECT_DEATH(P.link(), "no body");
+}
+
+TEST(LinkerDeath, WrongArgCountInCall) {
+  Program P;
+  ClassId A = P.defineClass("A");
+  MethodId Target = P.defineMethod(A, "t", Type::Void, {Type::I64},
+                                   {.IsStatic = true});
+  {
+    FunctionBuilder F("A.t", Type::Void);
+    F.addArg(Type::I64);
+    F.retVoid();
+    P.setBody(Target, F.finalize());
+  }
+  MethodId Caller = P.defineMethod(A, "c", Type::Void, {}, {.IsStatic = true});
+  {
+    FunctionBuilder F("A.c", Type::Void);
+    F.callStatic(Target, {}, Type::Void); // missing argument
+    F.retVoid();
+    P.setBody(Caller, F.finalize());
+  }
+  EXPECT_DEATH(P.link(), "argument count");
+}
+
+TEST(LinkerDeath, InterfaceCannotBeInstantiated) {
+  Program P;
+  ClassId I = P.defineInterface("I");
+  ClassId A = P.defineClass("A");
+  MethodId M = P.defineMethod(A, "m", Type::Void, {}, {.IsStatic = true});
+  FunctionBuilder F("A.m", Type::Void);
+  F.newObject(I);
+  F.retVoid();
+  P.setBody(M, F.finalize());
+  EXPECT_DEATH(P.link(), "instantiate interface");
+}
+
+TEST(LinkerDeath, UnimplementedInterfaceMethod) {
+  Program P;
+  ClassId I = P.defineInterface("I");
+  P.defineMethod(I, "must", Type::Void, {});
+  ClassId A = P.defineClass("A");
+  P.addInterface(A, I);
+  EXPECT_DEATH(P.link(), "does not implement");
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+//===-- tests/VerifierTest.cpp - IR verifier unit tests -----------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace dchm;
+
+namespace {
+
+/// Hand-assembles a function (bypassing the builder's checks) so each
+/// verifier rule can be violated in isolation.
+IRFunction makeRaw(std::vector<Type> RegTypes, uint16_t NumArgs,
+                   std::vector<Instruction> Insts, Type RetTy = Type::Void) {
+  IRFunction F;
+  F.Name = "raw";
+  F.RetTy = RetTy;
+  F.NumArgs = NumArgs;
+  F.RegTypes = std::move(RegTypes);
+  F.Insts = std::move(Insts);
+  return F;
+}
+
+Instruction inst(Opcode Op) {
+  Instruction I;
+  I.Op = Op;
+  return I;
+}
+
+TEST(Verifier, AcceptsMinimalFunction) {
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({}, 0, {Ret});
+  EXPECT_EQ(verifyFunction(F), "");
+}
+
+TEST(Verifier, RejectsEmptyFunction) {
+  IRFunction F = makeRaw({}, 0, {});
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Instruction C = inst(Opcode::ConstI);
+  C.Dst = 0;
+  IRFunction F = makeRaw({Type::I64}, 0, {C});
+  EXPECT_NE(verifyFunction(F).find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsWriteToArgumentRegister) {
+  Instruction C = inst(Opcode::ConstI);
+  C.Dst = 0; // argument register
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({Type::I64}, 1, {C, Ret});
+  EXPECT_NE(verifyFunction(F).find("argument register"), std::string::npos);
+}
+
+TEST(Verifier, RejectsRegisterOutOfRange) {
+  Instruction A = inst(Opcode::Add);
+  A.Dst = 1;
+  A.A = 0;
+  A.B = 9; // out of range
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({Type::I64, Type::I64}, 1, {A, Ret});
+  EXPECT_NE(verifyFunction(F).find("out of range"), std::string::npos);
+}
+
+TEST(Verifier, RejectsTypeMismatchOnIntegerOp) {
+  Instruction A = inst(Opcode::Add);
+  A.Dst = 2;
+  A.A = 0;
+  A.B = 1; // f64 operand to integer add
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({Type::I64, Type::F64, Type::I64}, 2, {A, Ret});
+  EXPECT_NE(verifyFunction(F).find("expected i64"), std::string::npos);
+}
+
+TEST(Verifier, RejectsFloatOpOnIntRegisters) {
+  Instruction A = inst(Opcode::FAdd);
+  A.Dst = 1;
+  A.A = 0;
+  A.B = 0;
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({Type::I64, Type::F64}, 1, {A, Ret});
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verifier, RejectsBranchTargetOutOfRange) {
+  Instruction Br = inst(Opcode::Br);
+  Br.Imm = 99;
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({}, 0, {Br, Ret});
+  EXPECT_NE(verifyFunction(F).find("target out of range"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCondBranchOnFloat) {
+  Instruction Cb = inst(Opcode::Cbnz);
+  Cb.A = 0;
+  Cb.Imm = 1;
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({Type::F64}, 1, {Cb, Ret});
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verifier, RejectsValueReturnFromVoid) {
+  Instruction Ret = inst(Opcode::Ret);
+  Ret.A = 0;
+  IRFunction F = makeRaw({Type::I64}, 1, {Ret}, Type::Void);
+  EXPECT_NE(verifyFunction(F).find("void"), std::string::npos);
+}
+
+TEST(Verifier, RejectsWrongReturnType) {
+  Instruction Ret = inst(Opcode::Ret);
+  Ret.A = 0;
+  Ret.Ty = Type::I64;
+  IRFunction F = makeRaw({Type::F64}, 1, {Ret}, Type::I64);
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verifier, RejectsMoveBetweenTypes) {
+  Instruction Mv = inst(Opcode::Move);
+  Mv.Dst = 2;
+  Mv.A = 0;
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F =
+      makeRaw({Type::I64, Type::I64, Type::F64}, 2, {Mv, Ret});
+  EXPECT_NE(verifyFunction(F).find("different types"), std::string::npos);
+}
+
+TEST(Verifier, RejectsNonRefReceiver) {
+  Instruction Call = inst(Opcode::CallVirtual);
+  Call.Ty = Type::Void;
+  Call.Args = {0};
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({Type::I64}, 1, {Call, Ret});
+  EXPECT_NE(verifyFunction(F).find("receiver"), std::string::npos);
+}
+
+TEST(Verifier, RejectsVoidCallWithDestination) {
+  Instruction Call = inst(Opcode::CallStatic);
+  Call.Ty = Type::Void;
+  Call.Dst = 0;
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({Type::I64}, 0, {Call, Ret});
+  EXPECT_NE(verifyFunction(F).find("void call"), std::string::npos);
+}
+
+TEST(Verifier, RejectsArrayOpTypeMismatch) {
+  Instruction Ld = inst(Opcode::ALoad);
+  Ld.Ty = Type::F64;
+  Ld.Dst = 2;
+  Ld.A = 0;
+  Ld.B = 1;
+  Instruction Ret = inst(Opcode::Ret);
+  IRFunction F = makeRaw({Type::Ref, Type::I64, Type::I64}, 2, {Ld, Ret});
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verifier, ErrorMessageNamesTheFunction) {
+  IRFunction F = makeRaw({}, 0, {});
+  F.Name = "brokenFn";
+  EXPECT_NE(verifyFunction(F).find("brokenFn"), std::string::npos);
+}
+
+} // namespace

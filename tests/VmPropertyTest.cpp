@@ -1,0 +1,157 @@
+//===-- tests/VmPropertyTest.cpp - Randomized invariant sweeps ----------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property tests over the mutation engine:
+///
+///  1. TIB invariant — after any sequence of constructions, state stores,
+///     and method calls, every mutable-class object's TIB pointer is the
+///     special TIB of the hot state its fields currently match (or the
+///     class TIB when no hot state matches).
+///  2. Transparency — mutation on vs off computes identical results for
+///     random operation sequences, across adaptive thresholds (so the
+///     sequence crosses opt0/opt1/opt2 and the mutation point).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace dchm;
+using dchm::test::CounterFixture;
+
+namespace {
+
+/// Checks the part I invariant for one object.
+void expectTibInvariant(CounterFixture &Fx, Object *O) {
+  const ClassInfo &C = Fx.P->cls(Fx.Counter);
+  int64_t Mode = O->get(Fx.P->field(Fx.Mode).Slot).I;
+  TIB *Expected = C.ClassTib;
+  for (size_t S = 0; S < Fx.Plan.Classes[0].HotStates.size(); ++S)
+    if (Fx.Plan.Classes[0].HotStates[S].InstanceVals[0].I == Mode)
+      Expected = C.SpecialTibs[S];
+  EXPECT_EQ(O->Tib, Expected) << "mode=" << Mode;
+}
+
+class TibInvariant : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TibInvariant, HoldsUnderRandomTransitions) {
+  CounterFixture Fx;
+  VirtualMachine VM(*Fx.P, {});
+  VM.setMutationPlan(&Fx.Plan);
+  Rng R(GetParam());
+  std::vector<Object *> Objs;
+  // Note: test objects are rooted only by this vector; keep the heap large
+  // enough that no GC runs (the VM would not see these as roots).
+  for (int Step = 0; Step < 300; ++Step) {
+    switch (R.nextBelow(Objs.empty() ? 1 : 4)) {
+    case 0: // construct with a random mode, hot or cold
+      Objs.push_back(Fx.makeCounter(VM, R.nextInRange(0, 3)));
+      break;
+    case 1: { // random transition
+      Object *O = Objs[R.nextBelow(Objs.size())];
+      VM.call(Fx.SetMode, {valueR(O), valueI(R.nextInRange(0, 3))});
+      break;
+    }
+    case 2: { // call the mutable method
+      Object *O = Objs[R.nextBelow(Objs.size())];
+      VM.call(Fx.Bump, {valueR(O)});
+      break;
+    }
+    default: { // call the non-mutable method
+      Object *O = Objs[R.nextBelow(Objs.size())];
+      VM.call(Fx.Get, {valueR(O)});
+      break;
+    }
+    }
+    for (Object *O : Objs)
+      expectTibInvariant(Fx, O);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TibInvariant,
+                         ::testing::Range<uint64_t>(1, 13));
+
+/// One random scenario executed with or without mutation; returns the
+/// final checksum over all objects.
+int64_t runScenario(uint64_t Seed, bool Mutation, uint64_t Opt1, uint64_t Opt2) {
+  CounterFixture Fx;
+  VMOptions Opts;
+  Opts.EnableMutation = Mutation;
+  Opts.Adaptive.Opt1Threshold = Opt1;
+  Opts.Adaptive.Opt2Threshold = Opt2;
+  VirtualMachine VM(*Fx.P, Opts);
+  VM.setMutationPlan(&Fx.Plan);
+  Rng R(Seed);
+  std::vector<Object *> Objs;
+  for (int Step = 0; Step < 500; ++Step) {
+    switch (R.nextBelow(Objs.empty() ? 1 : 4)) {
+    case 0:
+      Objs.push_back(Fx.makeCounter(VM, R.nextInRange(0, 4)));
+      break;
+    case 1:
+      VM.call(Fx.SetMode,
+              {valueR(Objs[R.nextBelow(Objs.size())]),
+               valueI(R.nextInRange(0, 4))});
+      break;
+    default:
+      VM.call(Fx.Bump, {valueR(Objs[R.nextBelow(Objs.size())])});
+      break;
+    }
+  }
+  int64_t Sum = 0;
+  for (Object *O : Objs)
+    Sum = Sum * 31 + VM.call(Fx.Get, {valueR(O)}).I;
+  return Sum;
+}
+
+struct TransparencyCase {
+  uint64_t Seed;
+  uint64_t Opt1, Opt2;
+};
+
+class Transparency : public ::testing::TestWithParam<TransparencyCase> {};
+
+TEST_P(Transparency, MutationInvisibleToSemantics) {
+  TransparencyCase TC = GetParam();
+  EXPECT_EQ(runScenario(TC.Seed, false, TC.Opt1, TC.Opt2),
+            runScenario(TC.Seed, true, TC.Opt1, TC.Opt2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThresholds, Transparency,
+    ::testing::Values(TransparencyCase{1, 300, 3000},
+                      TransparencyCase{2, 300, 3000},
+                      TransparencyCase{3, 10, 50},   // early mutation point
+                      TransparencyCase{4, 10, 50},
+                      TransparencyCase{5, 1, 2},     // immediate opt2
+                      TransparencyCase{6, 1, 2},
+                      TransparencyCase{7, 100000, 200000}, // never promoted
+                      TransparencyCase{8, 50, 100},
+                      TransparencyCase{9, 5, 500},
+                      TransparencyCase{10, 5, 10}));
+
+TEST(TransparencyAccelerated, MatchesBaseline) {
+  // Accelerated hotness detection (Figure 14's mode) is also transparent.
+  auto Run = [](bool Accel) {
+    CounterFixture Fx;
+    VMOptions Opts;
+    Opts.Adaptive.AcceleratedMutableHotness = Accel;
+    VirtualMachine VM(*Fx.P, Opts);
+    VM.setMutationPlan(&Fx.Plan);
+    Object *O = Fx.makeCounter(VM, 0);
+    for (int I = 0; I < 100; ++I) {
+      VM.call(Fx.SetMode, {valueR(O), valueI(I % 3)});
+      VM.call(Fx.Bump, {valueR(O)});
+    }
+    return VM.call(Fx.Get, {valueR(O)}).I;
+  };
+  EXPECT_EQ(Run(false), Run(true));
+}
+
+} // namespace
