@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_codesize.dir/bench_fig10_codesize.cpp.o"
+  "CMakeFiles/bench_fig10_codesize.dir/bench_fig10_codesize.cpp.o.d"
+  "bench_fig10_codesize"
+  "bench_fig10_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_compiletime.dir/bench_fig11_compiletime.cpp.o"
+  "CMakeFiles/bench_fig11_compiletime.dir/bench_fig11_compiletime.cpp.o.d"
+  "bench_fig11_compiletime"
+  "bench_fig11_compiletime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_compiletime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_tibspace.dir/bench_fig12_tibspace.cpp.o"
+  "CMakeFiles/bench_fig12_tibspace.dir/bench_fig12_tibspace.cpp.o.d"
+  "bench_fig12_tibspace"
+  "bench_fig12_tibspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tibspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

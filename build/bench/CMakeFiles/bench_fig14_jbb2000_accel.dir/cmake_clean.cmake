@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_jbb2000_accel.dir/bench_fig14_jbb2000_accel.cpp.o"
+  "CMakeFiles/bench_fig14_jbb2000_accel.dir/bench_fig14_jbb2000_accel.cpp.o.d"
+  "bench_fig14_jbb2000_accel"
+  "bench_fig14_jbb2000_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_jbb2000_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_vm.cpp" "bench/CMakeFiles/bench_micro_vm.dir/bench_micro_vm.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_vm.dir/bench_micro_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dchm_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dchm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dchm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dchm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutation/CMakeFiles/dchm_mutation.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/dchm_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dchm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dchm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dchm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dchm_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_vm.dir/bench_micro_vm.cpp.o"
+  "CMakeFiles/bench_micro_vm.dir/bench_micro_vm.cpp.o.d"
+  "bench_micro_vm"
+  "bench_micro_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_bench_harness.dir/BenchHarness.cpp.o"
+  "CMakeFiles/dchm_bench_harness.dir/BenchHarness.cpp.o.d"
+  "libdchm_bench_harness.a"
+  "libdchm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

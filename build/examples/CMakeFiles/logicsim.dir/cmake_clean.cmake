@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logicsim.dir/logicsim.cpp.o"
+  "CMakeFiles/logicsim.dir/logicsim.cpp.o.d"
+  "logicsim"
+  "logicsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logicsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

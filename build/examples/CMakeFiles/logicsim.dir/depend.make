@@ -1,0 +1,2 @@
+# Empty dependencies file for logicsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online.dir/online.cpp.o"
+  "CMakeFiles/online.dir/online.cpp.o.d"
+  "online"
+  "online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

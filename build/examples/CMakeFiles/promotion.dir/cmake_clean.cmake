@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promotion.dir/promotion.cpp.o"
+  "CMakeFiles/promotion.dir/promotion.cpp.o.d"
+  "promotion"
+  "promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

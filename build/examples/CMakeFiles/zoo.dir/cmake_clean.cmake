@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo.dir/zoo.cpp.o"
+  "CMakeFiles/zoo.dir/zoo.cpp.o.d"
+  "zoo"
+  "zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("runtime")
+subdirs("compiler")
+subdirs("exec")
+subdirs("adaptive")
+subdirs("mutation")
+subdirs("analysis")
+subdirs("core")
+subdirs("online")
+subdirs("asm")
+subdirs("workloads")

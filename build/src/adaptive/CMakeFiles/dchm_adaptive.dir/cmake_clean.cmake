@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_adaptive.dir/AdaptiveSystem.cpp.o"
+  "CMakeFiles/dchm_adaptive.dir/AdaptiveSystem.cpp.o.d"
+  "libdchm_adaptive.a"
+  "libdchm_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

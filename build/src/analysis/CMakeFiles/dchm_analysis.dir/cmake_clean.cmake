@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_analysis.dir/OfflinePipeline.cpp.o"
+  "CMakeFiles/dchm_analysis.dir/OfflinePipeline.cpp.o.d"
+  "CMakeFiles/dchm_analysis.dir/OlcAnalysis.cpp.o"
+  "CMakeFiles/dchm_analysis.dir/OlcAnalysis.cpp.o.d"
+  "CMakeFiles/dchm_analysis.dir/StateFieldAnalysis.cpp.o"
+  "CMakeFiles/dchm_analysis.dir/StateFieldAnalysis.cpp.o.d"
+  "CMakeFiles/dchm_analysis.dir/ValueProfiler.cpp.o"
+  "CMakeFiles/dchm_analysis.dir/ValueProfiler.cpp.o.d"
+  "libdchm_analysis.a"
+  "libdchm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_asm.dir/Assembler.cpp.o"
+  "CMakeFiles/dchm_asm.dir/Assembler.cpp.o.d"
+  "libdchm_asm.a"
+  "libdchm_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

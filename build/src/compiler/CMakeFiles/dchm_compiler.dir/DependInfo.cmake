@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/Inliner.cpp" "src/compiler/CMakeFiles/dchm_compiler.dir/Inliner.cpp.o" "gcc" "src/compiler/CMakeFiles/dchm_compiler.dir/Inliner.cpp.o.d"
+  "/root/repo/src/compiler/OptCompiler.cpp" "src/compiler/CMakeFiles/dchm_compiler.dir/OptCompiler.cpp.o" "gcc" "src/compiler/CMakeFiles/dchm_compiler.dir/OptCompiler.cpp.o.d"
+  "/root/repo/src/compiler/Passes.cpp" "src/compiler/CMakeFiles/dchm_compiler.dir/Passes.cpp.o" "gcc" "src/compiler/CMakeFiles/dchm_compiler.dir/Passes.cpp.o.d"
+  "/root/repo/src/compiler/Specializer.cpp" "src/compiler/CMakeFiles/dchm_compiler.dir/Specializer.cpp.o" "gcc" "src/compiler/CMakeFiles/dchm_compiler.dir/Specializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dchm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dchm_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_compiler.dir/Inliner.cpp.o"
+  "CMakeFiles/dchm_compiler.dir/Inliner.cpp.o.d"
+  "CMakeFiles/dchm_compiler.dir/OptCompiler.cpp.o"
+  "CMakeFiles/dchm_compiler.dir/OptCompiler.cpp.o.d"
+  "CMakeFiles/dchm_compiler.dir/Passes.cpp.o"
+  "CMakeFiles/dchm_compiler.dir/Passes.cpp.o.d"
+  "CMakeFiles/dchm_compiler.dir/Specializer.cpp.o"
+  "CMakeFiles/dchm_compiler.dir/Specializer.cpp.o.d"
+  "libdchm_compiler.a"
+  "libdchm_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

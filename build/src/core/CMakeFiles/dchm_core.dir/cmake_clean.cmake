@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_core.dir/VM.cpp.o"
+  "CMakeFiles/dchm_core.dir/VM.cpp.o.d"
+  "libdchm_core.a"
+  "libdchm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

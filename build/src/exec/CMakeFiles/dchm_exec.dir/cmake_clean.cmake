@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_exec.dir/Interpreter.cpp.o"
+  "CMakeFiles/dchm_exec.dir/Interpreter.cpp.o.d"
+  "libdchm_exec.a"
+  "libdchm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

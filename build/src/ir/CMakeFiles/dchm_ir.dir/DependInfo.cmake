@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Builder.cpp" "src/ir/CMakeFiles/dchm_ir.dir/Builder.cpp.o" "gcc" "src/ir/CMakeFiles/dchm_ir.dir/Builder.cpp.o.d"
+  "/root/repo/src/ir/CFG.cpp" "src/ir/CMakeFiles/dchm_ir.dir/CFG.cpp.o" "gcc" "src/ir/CMakeFiles/dchm_ir.dir/CFG.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/dchm_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/dchm_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/Opcode.cpp" "src/ir/CMakeFiles/dchm_ir.dir/Opcode.cpp.o" "gcc" "src/ir/CMakeFiles/dchm_ir.dir/Opcode.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/dchm_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/dchm_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_ir.dir/Builder.cpp.o"
+  "CMakeFiles/dchm_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/dchm_ir.dir/CFG.cpp.o"
+  "CMakeFiles/dchm_ir.dir/CFG.cpp.o.d"
+  "CMakeFiles/dchm_ir.dir/Function.cpp.o"
+  "CMakeFiles/dchm_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/dchm_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/dchm_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/dchm_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/dchm_ir.dir/Verifier.cpp.o.d"
+  "libdchm_ir.a"
+  "libdchm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_mutation.dir/MutationManager.cpp.o"
+  "CMakeFiles/dchm_mutation.dir/MutationManager.cpp.o.d"
+  "libdchm_mutation.a"
+  "libdchm_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

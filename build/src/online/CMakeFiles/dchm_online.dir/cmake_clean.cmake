@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_online.dir/OnlineController.cpp.o"
+  "CMakeFiles/dchm_online.dir/OnlineController.cpp.o.d"
+  "libdchm_online.a"
+  "libdchm_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/dchm_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/dchm_runtime.dir/Program.cpp.o"
+  "CMakeFiles/dchm_runtime.dir/Program.cpp.o.d"
+  "libdchm_runtime.a"
+  "libdchm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Common.cpp" "src/workloads/CMakeFiles/dchm_workloads.dir/Common.cpp.o" "gcc" "src/workloads/CMakeFiles/dchm_workloads.dir/Common.cpp.o.d"
+  "/root/repo/src/workloads/CsvToXml.cpp" "src/workloads/CMakeFiles/dchm_workloads.dir/CsvToXml.cpp.o" "gcc" "src/workloads/CMakeFiles/dchm_workloads.dir/CsvToXml.cpp.o.d"
+  "/root/repo/src/workloads/Java2Xhtml.cpp" "src/workloads/CMakeFiles/dchm_workloads.dir/Java2Xhtml.cpp.o" "gcc" "src/workloads/CMakeFiles/dchm_workloads.dir/Java2Xhtml.cpp.o.d"
+  "/root/repo/src/workloads/Jbb.cpp" "src/workloads/CMakeFiles/dchm_workloads.dir/Jbb.cpp.o" "gcc" "src/workloads/CMakeFiles/dchm_workloads.dir/Jbb.cpp.o.d"
+  "/root/repo/src/workloads/SalaryDb.cpp" "src/workloads/CMakeFiles/dchm_workloads.dir/SalaryDb.cpp.o" "gcc" "src/workloads/CMakeFiles/dchm_workloads.dir/SalaryDb.cpp.o.d"
+  "/root/repo/src/workloads/SimLogic.cpp" "src/workloads/CMakeFiles/dchm_workloads.dir/SimLogic.cpp.o" "gcc" "src/workloads/CMakeFiles/dchm_workloads.dir/SimLogic.cpp.o.d"
+  "/root/repo/src/workloads/WekaMini.cpp" "src/workloads/CMakeFiles/dchm_workloads.dir/WekaMini.cpp.o" "gcc" "src/workloads/CMakeFiles/dchm_workloads.dir/WekaMini.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dchm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dchm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutation/CMakeFiles/dchm_mutation.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/dchm_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dchm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dchm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dchm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dchm_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

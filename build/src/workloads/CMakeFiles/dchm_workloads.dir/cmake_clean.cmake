@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_workloads.dir/Common.cpp.o"
+  "CMakeFiles/dchm_workloads.dir/Common.cpp.o.d"
+  "CMakeFiles/dchm_workloads.dir/CsvToXml.cpp.o"
+  "CMakeFiles/dchm_workloads.dir/CsvToXml.cpp.o.d"
+  "CMakeFiles/dchm_workloads.dir/Java2Xhtml.cpp.o"
+  "CMakeFiles/dchm_workloads.dir/Java2Xhtml.cpp.o.d"
+  "CMakeFiles/dchm_workloads.dir/Jbb.cpp.o"
+  "CMakeFiles/dchm_workloads.dir/Jbb.cpp.o.d"
+  "CMakeFiles/dchm_workloads.dir/SalaryDb.cpp.o"
+  "CMakeFiles/dchm_workloads.dir/SalaryDb.cpp.o.d"
+  "CMakeFiles/dchm_workloads.dir/SimLogic.cpp.o"
+  "CMakeFiles/dchm_workloads.dir/SimLogic.cpp.o.d"
+  "CMakeFiles/dchm_workloads.dir/WekaMini.cpp.o"
+  "CMakeFiles/dchm_workloads.dir/WekaMini.cpp.o.d"
+  "libdchm_workloads.a"
+  "libdchm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dchm_workloads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AdaptiveTest.cpp" "tests/CMakeFiles/dchm_tests.dir/AdaptiveTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/AdaptiveTest.cpp.o.d"
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/dchm_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/AssemblerFuzzTest.cpp" "tests/CMakeFiles/dchm_tests.dir/AssemblerFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/AssemblerFuzzTest.cpp.o.d"
+  "/root/repo/tests/AssemblerTest.cpp" "tests/CMakeFiles/dchm_tests.dir/AssemblerTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/AssemblerTest.cpp.o.d"
+  "/root/repo/tests/CfgTest.cpp" "tests/CMakeFiles/dchm_tests.dir/CfgTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/CfgTest.cpp.o.d"
+  "/root/repo/tests/DispatchTest.cpp" "tests/CMakeFiles/dchm_tests.dir/DispatchTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/DispatchTest.cpp.o.d"
+  "/root/repo/tests/GuardedInlineTest.cpp" "tests/CMakeFiles/dchm_tests.dir/GuardedInlineTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/GuardedInlineTest.cpp.o.d"
+  "/root/repo/tests/HeapGcTest.cpp" "tests/CMakeFiles/dchm_tests.dir/HeapGcTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/HeapGcTest.cpp.o.d"
+  "/root/repo/tests/InlinerTest.cpp" "tests/CMakeFiles/dchm_tests.dir/InlinerTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/InlinerTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/dchm_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/IrBuilderTest.cpp" "tests/CMakeFiles/dchm_tests.dir/IrBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/IrBuilderTest.cpp.o.d"
+  "/root/repo/tests/LinkerTest.cpp" "tests/CMakeFiles/dchm_tests.dir/LinkerTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/LinkerTest.cpp.o.d"
+  "/root/repo/tests/MutationManagerTest.cpp" "tests/CMakeFiles/dchm_tests.dir/MutationManagerTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/MutationManagerTest.cpp.o.d"
+  "/root/repo/tests/OnlineControllerTest.cpp" "tests/CMakeFiles/dchm_tests.dir/OnlineControllerTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/OnlineControllerTest.cpp.o.d"
+  "/root/repo/tests/PassesTest.cpp" "tests/CMakeFiles/dchm_tests.dir/PassesTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/PassesTest.cpp.o.d"
+  "/root/repo/tests/RuntimeEdgeTest.cpp" "tests/CMakeFiles/dchm_tests.dir/RuntimeEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/RuntimeEdgeTest.cpp.o.d"
+  "/root/repo/tests/SpecializerTest.cpp" "tests/CMakeFiles/dchm_tests.dir/SpecializerTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/SpecializerTest.cpp.o.d"
+  "/root/repo/tests/StaticOnlyMutationTest.cpp" "tests/CMakeFiles/dchm_tests.dir/StaticOnlyMutationTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/StaticOnlyMutationTest.cpp.o.d"
+  "/root/repo/tests/VerifierTest.cpp" "tests/CMakeFiles/dchm_tests.dir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/VmPropertyTest.cpp" "tests/CMakeFiles/dchm_tests.dir/VmPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/VmPropertyTest.cpp.o.d"
+  "/root/repo/tests/WorkloadsTest.cpp" "tests/CMakeFiles/dchm_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/dchm_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dchm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dchm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dchm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/dchm_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/dchm_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutation/CMakeFiles/dchm_mutation.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/dchm_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dchm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dchm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dchm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dchm_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

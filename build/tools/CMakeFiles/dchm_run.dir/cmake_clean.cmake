@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dchm_run.dir/dchm_run.cpp.o"
+  "CMakeFiles/dchm_run.dir/dchm_run.cpp.o.d"
+  "dchm_run"
+  "dchm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dchm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

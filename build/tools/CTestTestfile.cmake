@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/dchm_run" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan_salarydb "/root/repo/build/tools/dchm_run" "plan" "SalaryDB")
+set_tests_properties(cli_plan_salarydb PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_disasm_raise "/root/repo/build/tools/dchm_run" "disasm" "SalaryDB" "SalaryEmployee.raise" "--state=2")
+set_tests_properties(cli_disasm_raise PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_exec_fizzbuzz "/root/repo/build/tools/dchm_run" "exec" "/root/repo/examples/mvm/fizzbuzz.mvm" "15")
+set_tests_properties(cli_exec_fizzbuzz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_exec_salarydb_mvm "/root/repo/build/tools/dchm_run" "exec" "/root/repo/examples/mvm/salarydb.mvm" "--entry=TestDriver.main" "100" "20")
+set_tests_properties(cli_exec_salarydb_mvm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
