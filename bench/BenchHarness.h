@@ -60,6 +60,36 @@ struct Comparison {
   }
 };
 
+/// Minimal JSON emitter for the machine-readable BENCH_*.json artifacts the
+/// benchmark binaries write next to their human-readable tables. Handles
+/// comma placement across (possibly nested) objects and arrays; values are
+/// numbers, booleans, and strings (escaped for quotes and backslashes).
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray(const char *Key);
+  JsonWriter &endArray();
+  /// Starts an anonymous object as the next array element.
+  JsonWriter &beginArrayObject();
+  JsonWriter &field(const char *Key, const std::string &V);
+  JsonWriter &field(const char *Key, const char *V);
+  JsonWriter &field(const char *Key, double V);
+  JsonWriter &field(const char *Key, uint64_t V);
+  JsonWriter &field(const char *Key, int64_t V);
+  JsonWriter &field(const char *Key, bool V);
+
+  const std::string &str() const { return Out; }
+  /// Writes the accumulated document (plus a trailing newline) to Path.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  void comma();
+  void key(const char *Key);
+  std::string Out;
+  bool NeedComma = false;
+};
+
 /// Heap budget used for a workload (paper heaps scaled 1:16 for the jbbs).
 size_t heapBytesFor(const std::string &WorkloadName);
 

@@ -16,7 +16,9 @@ VirtualMachine::VirtualMachine(Program &P, const VMOptions &Opts)
       Adaptive(P, Compiler, Opts.Adaptive), Mutation(P) {
   DCHM_CHECK(P.isLinked(), "VirtualMachine requires a linked program");
   Compiler.inlinerConfig() = Opts.Inline;
-  Interp = std::make_unique<Interpreter>(P, TheHeap, *this);
+  Interp = std::make_unique<Interpreter>(P, TheHeap, *this, Opts.Dispatch,
+                                         Opts.InlineCaches, Opts.FrameArena);
+  Interp->setInlineSampling(Opts.Adaptive.SampleInterval == 1);
   TheHeap.setRootProvider(this);
 }
 

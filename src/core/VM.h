@@ -48,6 +48,12 @@ struct VMOptions {
   size_t HeapBytes = 50u << 20; ///< Jikes' default 50 MB heap
   AdaptiveConfig Adaptive;
   InlinerConfig Inline;
+  /// Interpreter fast-path knobs (docs/dispatch.md). These change host wall
+  /// time only; simulated cycle counts and program output are identical in
+  /// every combination.
+  DispatchMode Dispatch = DispatchMode::Default;
+  bool InlineCaches = true; ///< per-call-site mutation-safe inline caches
+  bool FrameArena = true;   ///< contiguous register arena vs per-frame files
 };
 
 /// Everything the experiment harness reads after (or during) a run.

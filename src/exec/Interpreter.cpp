@@ -3,6 +3,13 @@
 // Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
 // (Su & Lipasti, CGO 2006).
 //
+// The inner loop is written once (exec/InterpreterLoop.inc) and compiled
+// twice: executeLoopThreaded dispatches with computed goto (threaded
+// dispatch, one indirect branch per handler, plus fused fast paths for
+// dominant instruction pairs) and executeLoopSwitch with the portable
+// central switch. Both charge identical simulated cycles and produce
+// identical output; only host wall time differs. See docs/dispatch.md.
+//
 //===----------------------------------------------------------------------===//
 
 #include "exec/Interpreter.h"
@@ -11,13 +18,56 @@
 #include "runtime/CostModel.h"
 #include "support/Debug.h"
 
+#include <algorithm>
 #include <cstdio>
+
+// Computed goto is a GNU extension available on GCC and Clang; elsewhere the
+// threaded instantiation falls back to the switch loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define DCHM_HAVE_COMPUTED_GOTO 1
+#else
+#define DCHM_HAVE_COMPUTED_GOTO 0
+#endif
 
 namespace dchm {
 
-Interpreter::Interpreter(Program &P, Heap &H, VMCallbacks &CB)
-    : P(P), H(H), CB(CB) {
+namespace {
+/// Integer binops eligible for the threaded-mode fused fast paths: cheap,
+/// non-trapping ops whose handler is a plain evalBinop.
+inline bool isFusibleIntArith(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    return true;
+  default:
+    return false;
+  }
+}
+} // namespace
+
+Interpreter::Interpreter(Program &P, Heap &H, VMCallbacks &CB,
+                         DispatchMode Mode, bool InlineCaches, bool FrameArena)
+    : P(P), H(H), CB(CB), UseICs(InlineCaches), UseArena(FrameArena) {
   Frames.resize(MaxFrames);
+  RegArena.resize(InitialArenaSlots);
+#if DCHM_HAVE_COMPUTED_GOTO
+#ifdef DCHM_THREADED_DISPATCH
+  constexpr bool DefaultThreaded = true;
+#else
+  constexpr bool DefaultThreaded = false;
+#endif
+  UseThreaded = Mode == DispatchMode::Threaded ||
+                (Mode == DispatchMode::Default && DefaultThreaded);
+#else
+  (void)Mode;
+  UseThreaded = false;
+#endif
 }
 
 void Interpreter::setProfiling(bool On) {
@@ -62,15 +112,25 @@ void Interpreter::enumerateRoots(std::vector<Object *> &Roots) {
     if (!F.Fn)
       continue;
     const auto &Types = F.Fn->RegTypes;
-    for (size_t R = 0; R < Types.size(); ++R)
-      if (Types[R] == Type::Ref && F.Regs[R].R)
-        Roots.push_back(F.Regs[R].R);
+    const Value *Regs =
+        UseArena ? RegArena.data() + F.RegBase : F.LegacyRegs.data();
+    for (uint32_t R = 0; R < F.NumRegs; ++R)
+      if (Types[R] == Type::Ref && Regs[R].R)
+        Roots.push_back(Regs[R].R);
   }
 }
 
 CompiledMethod *Interpreter::resolveInterface(TIB *T, MethodId IfaceMethod) {
+  uint64_t Ignored = 0;
+  return resolveInterfaceSite(T, IfaceMethod % NumImtSlots, IfaceMethod,
+                              Ignored);
+}
+
+CompiledMethod *Interpreter::resolveInterfaceSite(TIB *T, uint32_t ImtSlot,
+                                                  MethodId IfaceMethod,
+                                                  uint64_t &ExtraCost) {
   DCHM_CHECK(T->Imt, "interface call on class with no IMT");
-  const ImtEntry &E = T->Imt->Slots[IfaceMethod % NumImtSlots];
+  const ImtEntry &E = T->Imt->Slots[ImtSlot];
   switch (E.K) {
   case ImtEntry::Kind::Direct: {
     if (E.DirectCode)
@@ -80,12 +140,17 @@ CompiledMethod *Interpreter::resolveInterface(TIB *T, MethodId IfaceMethod) {
     return E.DirectCode ? E.DirectCode : T->Slots[Impl.VSlot];
   }
   case ImtEntry::Kind::TibOffset:
+    // Mutable-class slot: one extra load through the current TIB so the
+    // dispatch honors the object's (special) TIB.
+    ExtraCost += DispatchCost::ImtMutableExtraLoad;
     return resolveAndEnsure(T, E.VSlot);
-  case ImtEntry::Kind::Conflict:
+  case ImtEntry::Kind::Conflict: {
+    ExtraCost += DispatchCost::ImtConflictStub;
     for (const auto &[IfaceM, Slot] : E.Table)
       if (IfaceM == IfaceMethod)
         return resolveAndEnsure(T, Slot);
     DCHM_UNREACHABLE("conflict stub: method not found");
+  }
   case ImtEntry::Kind::Empty:
     break;
   }
@@ -137,317 +202,33 @@ Value Interpreter::invoke(MethodId Mid, const std::vector<Value> &Args) {
 
 Value Interpreter::execute(CompiledMethod *CM, const Value *Args,
                            size_t NumArgs) {
-  DCHM_CHECK(Depth < MaxFrames, "VM stack overflow");
-  Frame &F = Frames[Depth++];
-  const IRFunction &Fn = CM->code();
-  MethodInfo &M = CM->method();
-  F.Fn = &Fn;
-  F.Regs.assign(Fn.RegTypes.size(), zeroValue());
-  DCHM_CHECK(NumArgs == Fn.NumArgs, "execute arg count mismatch");
-  for (size_t I = 0; I < NumArgs; ++I)
-    F.Regs[I] = Args[I];
-
-  Stats.Invocations++;
-  CB.onMethodEntry(M);
-  if (Profiling)
-    MethodInvocations[M.Id]++;
-
-  uint64_t C = 0; // local cycle accumulator, flushed on return
-  Value Ret = zeroValue();
-  size_t PC = 0;
-  const size_t N = Fn.Insts.size();
-
-  auto ArgBufCall = [&](const Instruction &I, CompiledMethod *Target) {
-    Value Buf[MaxArgs];
-    DCHM_CHECK(I.Args.size() <= MaxArgs, "too many call arguments");
-    for (size_t A = 0; A < I.Args.size(); ++A)
-      Buf[A] = F.Regs[I.Args[A]];
-    Value R = execute(Target, Buf, I.Args.size());
-    // "At the end of the constructors for a mutable class" (Figure 4): the
-    // ctor-exit trigger of the distributed mutation algorithm.
-    if (Target->method().Flags.IsCtor)
-      CB.onConstructorExit(Buf[0].R, Target->method());
-    return R;
-  };
-
-  while (true) {
-    DCHM_CHECK(PC < N, "PC out of range");
-    const Instruction &I = Fn.Insts[PC];
-    Stats.Insts++;
-    C += opcodeCycles(I.Op);
-
-    switch (I.Op) {
-    case Opcode::ConstI:
-      F.Regs[I.Dst] = valueI(I.Imm);
-      break;
-    case Opcode::ConstF:
-      F.Regs[I.Dst] = valueF(I.FImm);
-      break;
-    case Opcode::ConstNull:
-      F.Regs[I.Dst] = valueR(nullptr);
-      break;
-    case Opcode::Move:
-      F.Regs[I.Dst] = F.Regs[I.A];
-      break;
-
-    case Opcode::Add:
-    case Opcode::Sub:
-    case Opcode::Mul:
-    case Opcode::Div:
-    case Opcode::Rem:
-    case Opcode::And:
-    case Opcode::Or:
-    case Opcode::Xor:
-    case Opcode::Shl:
-    case Opcode::Shr:
-    case Opcode::FAdd:
-    case Opcode::FSub:
-    case Opcode::FMul:
-    case Opcode::FDiv:
-    case Opcode::CmpEQ:
-    case Opcode::CmpNE:
-    case Opcode::CmpLT:
-    case Opcode::CmpLE:
-    case Opcode::CmpGT:
-    case Opcode::CmpGE:
-    case Opcode::FCmpEQ:
-    case Opcode::FCmpLT:
-    case Opcode::FCmpLE:
-      F.Regs[I.Dst] = evalBinop(I.Op, F.Regs[I.A], F.Regs[I.B]);
-      break;
-
-    case Opcode::Neg:
-    case Opcode::FNeg:
-    case Opcode::I2F:
-    case Opcode::F2I:
-      F.Regs[I.Dst] = evalUnop(I.Op, F.Regs[I.A]);
-      break;
-
-    case Opcode::Br:
-      if (static_cast<size_t>(I.Imm) <= PC)
-        CB.onBackedge(M);
-      PC = static_cast<size_t>(I.Imm);
-      continue;
-    case Opcode::Cbnz:
-      if (F.Regs[I.A].I != 0) {
-        if (static_cast<size_t>(I.Imm) <= PC)
-          CB.onBackedge(M);
-        PC = static_cast<size_t>(I.Imm);
-        continue;
-      }
-      break;
-    case Opcode::Cbz:
-      if (F.Regs[I.A].I == 0) {
-        if (static_cast<size_t>(I.Imm) <= PC)
-          CB.onBackedge(M);
-        PC = static_cast<size_t>(I.Imm);
-        continue;
-      }
-      break;
-    case Opcode::Ret:
-      if (I.A != NoReg)
-        Ret = F.Regs[I.A];
-      goto done;
-
-    case Opcode::New: {
-      ClassInfo &Cls = P.cls(static_cast<ClassId>(I.Imm));
-      F.Regs[I.Dst] = valueR(H.allocateInstance(Cls, Cls.ClassTib));
-      break;
-    }
-    case Opcode::NewArray:
-      F.Regs[I.Dst] = valueR(H.allocateArray(I.Ty, F.Regs[I.A].I));
-      break;
-    case Opcode::ALoad: {
-      Object *Arr = F.Regs[I.A].R;
-      DCHM_CHECK(Arr && Arr->IsArray, "aload on non-array");
-      int64_t Idx = F.Regs[I.B].I;
-      DCHM_CHECK(Idx >= 0 && Idx < Arr->NumSlots, "array index out of bounds");
-      F.Regs[I.Dst] = Arr->get(static_cast<uint32_t>(Idx));
-      break;
-    }
-    case Opcode::AStore: {
-      Object *Arr = F.Regs[I.A].R;
-      DCHM_CHECK(Arr && Arr->IsArray, "astore on non-array");
-      int64_t Idx = F.Regs[I.B].I;
-      DCHM_CHECK(Idx >= 0 && Idx < Arr->NumSlots, "array index out of bounds");
-      Arr->set(static_cast<uint32_t>(Idx), F.Regs[I.C]);
-      break;
-    }
-    case Opcode::ALen: {
-      Object *Arr = F.Regs[I.A].R;
-      DCHM_CHECK(Arr && Arr->IsArray, "alen on non-array");
-      F.Regs[I.Dst] = valueI(Arr->NumSlots);
-      break;
-    }
-
-    case Opcode::GetField: {
-      Object *O = F.Regs[I.A].R;
-      DCHM_CHECK(O, "null pointer in getfield");
-      F.Regs[I.Dst] = O->get(I.Aux);
-      break;
-    }
-    case Opcode::PutField: {
-      Object *O = F.Regs[I.A].R;
-      DCHM_CHECK(O, "null pointer in putfield");
-      O->set(I.Aux, F.Regs[I.B]);
-      FieldInfo &Fld = P.field(static_cast<FieldId>(I.Imm));
-      if (Fld.IsStateField) {
-        // Patch code inserted at state-field assignments (algorithm part I).
-        // Stores a constructor makes to its own object are deferred to the
-        // constructor-exit action (Figure 4 patches "assignments in a
-        // non-constructor method" plus the end of constructors).
-        bool DuringCtor = M.Flags.IsCtor && O == F.Regs[0].R;
-        if (!DuringCtor) {
-          C += DispatchCost::StateFieldPatchBase;
-          Stats.StatePatchHits++;
-        }
-        CB.onInstanceStateStore(O, Fld, DuringCtor);
-      }
-      break;
-    }
-    case Opcode::GetStatic:
-      F.Regs[I.Dst] = P.getStaticSlot(I.Aux);
-      break;
-    case Opcode::PutStatic: {
-      P.setStaticSlot(I.Aux, F.Regs[I.A]);
-      FieldInfo &Fld = P.field(static_cast<FieldId>(I.Imm));
-      if (Fld.IsStateField) {
-        C += DispatchCost::StateFieldPatchBase;
-        Stats.StatePatchHits++;
-        CB.onStaticStateStore(Fld);
-      }
-      break;
-    }
-
-    case Opcode::CallStatic: {
-      C += DispatchCost::StaticCall;
-      MethodInfo &Callee = P.method(static_cast<MethodId>(I.Imm));
-      CompiledMethod *Target = P.staticEntry(Callee.Id);
-      if (!Target)
-        Target = CB.ensureCompiled(Callee);
-      Value R = ArgBufCall(I, Target);
-      if (I.Dst != NoReg)
-        F.Regs[I.Dst] = R;
-      break;
-    }
-    case Opcode::CallVirtual: {
-      C += DispatchCost::VirtualCall;
-      Stats.VirtualCalls++;
-      Object *Recv = F.Regs[I.Args[0]].R;
-      DCHM_CHECK(Recv && Recv->Tib, "null receiver in callvirtual");
-      CompiledMethod *Target = resolveAndEnsure(Recv->Tib, I.Aux);
-      Value R = ArgBufCall(I, Target);
-      if (I.Dst != NoReg)
-        F.Regs[I.Dst] = R;
-      break;
-    }
-    case Opcode::CallSpecial: {
-      // Static binding through the *declaring class* TIB (invokespecial):
-      // object state never affects this dispatch, but a static-only mutable
-      // class may have specialized its class TIB entry itself.
-      C += DispatchCost::SpecialCall;
-      MethodInfo &Callee = P.method(static_cast<MethodId>(I.Imm));
-      DCHM_CHECK(F.Regs[I.Args[0]].R, "null receiver in callspecial");
-      TIB *DeclTib = P.cls(Callee.Owner).ClassTib;
-      CompiledMethod *Target = DeclTib->Slots[I.Aux];
-      if (!Target) {
-        CB.ensureCompiled(Callee);
-        Target = DeclTib->Slots[I.Aux];
-        DCHM_CHECK(Target, "compile broker did not install code");
-      }
-      Value R = ArgBufCall(I, Target);
-      if (I.Dst != NoReg)
-        F.Regs[I.Dst] = R;
-      break;
-    }
-    case Opcode::CallInterface: {
-      C += DispatchCost::InterfaceCall;
-      Stats.InterfaceCalls++;
-      Object *Recv = F.Regs[I.Args[0]].R;
-      DCHM_CHECK(Recv && Recv->Tib, "null receiver in callinterface");
-      TIB *T = Recv->Tib;
-      DCHM_CHECK(T->Imt, "interface call on class with no IMT");
-      const ImtEntry &E = T->Imt->Slots[I.Aux];
-      CompiledMethod *Target = nullptr;
-      switch (E.K) {
-      case ImtEntry::Kind::Direct:
-        Target = E.DirectCode;
-        if (!Target) {
-          CB.ensureCompiled(P.method(E.DirectImpl));
-          Target = E.DirectCode ? E.DirectCode
-                                : T->Slots[P.method(E.DirectImpl).VSlot];
-        }
-        break;
-      case ImtEntry::Kind::TibOffset:
-        // Mutable-class slot: one extra load through the current TIB so the
-        // dispatch honors the object's (special) TIB.
-        C += DispatchCost::ImtMutableExtraLoad;
-        Target = resolveAndEnsure(T, E.VSlot);
-        break;
-      case ImtEntry::Kind::Conflict: {
-        C += DispatchCost::ImtConflictStub;
-        uint32_t VSlot = UINT32_MAX;
-        for (const auto &[IfaceM, Slot] : E.Table) {
-          if (IfaceM == static_cast<MethodId>(I.Imm)) {
-            VSlot = Slot;
-            break;
-          }
-        }
-        DCHM_CHECK(VSlot != UINT32_MAX, "conflict stub: method not found");
-        Target = resolveAndEnsure(T, VSlot);
-        break;
-      }
-      case ImtEntry::Kind::Empty:
-        DCHM_UNREACHABLE("interface dispatch through empty IMT slot");
-      }
-      DCHM_CHECK(Target, "interface dispatch found no code");
-      Value R = ArgBufCall(I, Target);
-      if (I.Dst != NoReg)
-        F.Regs[I.Dst] = R;
-      break;
-    }
-
-    case Opcode::InstanceOf: {
-      // Type test via the TIB's type-information entry, never TIB identity
-      // (special TIBs share the class's type info; paper section 3.2.3).
-      Object *O = F.Regs[I.A].R;
-      bool Is = O && !O->IsArray &&
-                P.isSubtype(O->Tib->Cls->Id, static_cast<ClassId>(I.Imm));
-      F.Regs[I.Dst] = valueI(Is);
-      break;
-    }
-    case Opcode::ClassEq: {
-      // Exact-class guard (guarded inlining): type-information entry, so
-      // special TIBs compare equal to their class.
-      Object *O = F.Regs[I.A].R;
-      F.Regs[I.Dst] = valueI(O && !O->IsArray &&
-                             O->Tib->Cls->Id == static_cast<ClassId>(I.Imm));
-      break;
-    }
-    case Opcode::CheckCast: {
-      Object *O = F.Regs[I.A].R;
-      if (O) {
-        DCHM_CHECK(!O->IsArray, "checkcast on array");
-        DCHM_CHECK(P.isSubtype(O->Tib->Cls->Id, static_cast<ClassId>(I.Imm)),
-                   "ClassCastException");
-      }
-      break;
-    }
-
-    case Opcode::Print:
-      printValue(I, F.Regs[I.A]);
-      break;
-    }
-    ++PC;
-  }
-
-done:
-  Stats.Cycles += C;
-  if (Profiling)
-    MethodCycles[M.Id] += C;
-  F.Fn = nullptr;
-  --Depth;
-  return Ret;
+  if (UseThreaded)
+    return executeLoopThreaded(CM, Args, NumArgs);
+  return executeLoopSwitch(CM, Args, NumArgs);
 }
+
+// The shared inner-loop body, compiled once per dispatch strategy. Keeping
+// the copies as separate functions (not a template over the flag) matters:
+// see the header comment of InterpreterLoop.inc.
+#define DCHM_LOOP_THREADED 0
+#define DCHM_LOOP_NAME executeLoopSwitch
+#include "exec/InterpreterLoop.inc"
+#undef DCHM_LOOP_THREADED
+#undef DCHM_LOOP_NAME
+
+#if DCHM_HAVE_COMPUTED_GOTO
+#define DCHM_LOOP_THREADED 1
+#define DCHM_LOOP_NAME executeLoopThreaded
+#include "exec/InterpreterLoop.inc"
+#undef DCHM_LOOP_THREADED
+#undef DCHM_LOOP_NAME
+#else
+// Without computed goto the constructor never selects threaded mode; keep
+// the symbol defined for the header's sake.
+Value Interpreter::executeLoopThreaded(CompiledMethod *CM, const Value *Args,
+                                       size_t NumArgs) {
+  return executeLoopSwitch(CM, Args, NumArgs);
+}
+#endif
 
 } // namespace dchm

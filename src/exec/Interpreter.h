@@ -16,6 +16,18 @@
 /// invokespecial through the declaring class TIB, interface calls through
 /// the IMT. The interpreter is also the GC's root provider (frame scan).
 ///
+/// The host-side fast path (docs/dispatch.md) is independent of the
+/// simulated cost accounting; every knob below changes only real wall
+/// time, never simulated cycles or program output:
+///
+///  - computed-goto threaded dispatch (DispatchMode) with fused handler
+///    pairs for dominant instruction sequences,
+///  - a contiguous bump-allocated register arena replacing per-frame
+///    heap-allocated register files,
+///  - per-call-site mutation-safe inline caches (runtime/InlineCache.h)
+///    keyed on the receiver's TIB pointer and guarded by the Program's
+///    code epoch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DCHM_EXEC_INTERPRETER_H
@@ -38,18 +50,42 @@ struct ExecStats {
   uint64_t VirtualCalls = 0;
   uint64_t InterfaceCalls = 0;
   uint64_t StatePatchHits = 0; ///< state-field assignments intercepted
+  uint64_t IcHits = 0;         ///< call sites resolved from an inline cache
+  uint64_t IcMisses = 0;       ///< call sites resolved via the slow path
 };
+
+/// How the interpreter's inner loop dispatches opcodes. Default resolves to
+/// Threaded when the build enables DCHM_THREADED_DISPATCH and the compiler
+/// supports computed goto, otherwise to the portable Switch loop. Both
+/// modes produce identical output and identical simulated cycle counts.
+enum class DispatchMode : uint8_t { Default, Switch, Threaded };
 
 /// Executes compiled methods against a Program and Heap.
 class Interpreter : public RootProvider {
 public:
-  Interpreter(Program &P, Heap &H, VMCallbacks &CB);
+  Interpreter(Program &P, Heap &H, VMCallbacks &CB,
+              DispatchMode Mode = DispatchMode::Default,
+              bool InlineCaches = true, bool FrameArena = true);
 
   /// Invokes method M with the given arguments (receiver first for instance
   /// methods), compiling lazily as needed, and returns its result.
   Value invoke(MethodId M, const std::vector<Value> &Args);
 
   const ExecStats &stats() const { return Stats; }
+
+  /// True when the inner loop runs on computed-goto threaded dispatch.
+  bool threadedDispatch() const { return UseThreaded; }
+  bool inlineCachesEnabled() const { return UseICs; }
+  bool frameArenaEnabled() const { return UseArena; }
+
+  /// Enables the inline hotness-sample fast path. Only valid when the
+  /// adaptive system samples every entry/back-edge event (SampleInterval ==
+  /// 1): in that regime a sample for a fully promoted method is exactly
+  /// MethodInfo::SampleCount++ — promotion is a no-op at the top opt level
+  /// and the decimation tick is untouched — so the interpreter takes the
+  /// increment inline instead of walking the callback chain on its two
+  /// hottest events.
+  void setInlineSampling(bool On) { InlineSampling = On; }
 
   /// Per-method cycle attribution for the offline hot-method profiler.
   void setProfiling(bool On);
@@ -70,16 +106,38 @@ public:
 private:
   static constexpr size_t MaxArgs = 16;
   static constexpr size_t MaxFrames = 512;
+  static constexpr size_t InitialArenaSlots = 4096;
 
+  /// One activation record. Registers live in the shared arena window
+  /// [RegBase, RegBase + NumRegs) unless the legacy per-frame mode is
+  /// active (LegacyRegs), which exists as the seed-equivalent baseline for
+  /// the dispatch microbenchmarks.
   struct Frame {
     const IRFunction *Fn = nullptr;
-    std::vector<Value> Regs;
+    size_t RegBase = 0;
+    uint32_t NumRegs = 0;
+    std::vector<Value> LegacyRegs;
   };
 
   Value execute(CompiledMethod *CM, const Value *Args, size_t NumArgs);
+  /// The two compilations of the shared inner-loop body
+  /// (exec/InterpreterLoop.inc). They are separate functions, not a
+  /// template over the dispatch flag, so the switch copy is compiled with
+  /// no address-taken labels at all: a `&&label` table anywhere in a
+  /// function pins every labelled block and costs the pure-switch loop
+  /// measurable straight-line speed.
+  Value executeLoopSwitch(CompiledMethod *CM, const Value *Args,
+                          size_t NumArgs);
+  Value executeLoopThreaded(CompiledMethod *CM, const Value *Args,
+                            size_t NumArgs);
   CompiledMethod *resolveAndEnsure(TIB *T, uint32_t Slot);
   /// Resolves an interface method against T's IMT (for external invoke()).
   CompiledMethod *resolveInterface(TIB *T, MethodId IfaceMethod);
+  /// Seed-path IMT resolution for a CallInterface site; adds the entry
+  /// kind's extra simulated cycles to ExtraCost.
+  CompiledMethod *resolveInterfaceSite(TIB *T, uint32_t ImtSlot,
+                                       MethodId IfaceMethod,
+                                       uint64_t &ExtraCost);
   void printValue(const Instruction &I, Value V);
   void appendOutput(const char *S, size_t Len);
 
@@ -89,6 +147,15 @@ private:
   ExecStats Stats;
   std::vector<Frame> Frames; ///< pooled frame stack; Depth frames live
   size_t Depth = 0;
+  /// Contiguous register stack: one slab, frame windows bump-allocated on
+  /// invoke and released on return. Grows geometrically; raw register
+  /// pointers are re-derived after any nested invocation (see executeLoop).
+  std::vector<Value> RegArena;
+  size_t ArenaTop = 0;
+  bool UseThreaded = false;
+  bool UseICs = true;
+  bool UseArena = true;
+  bool InlineSampling = false;
   bool Profiling = false;
   std::vector<uint64_t> MethodCycles;
   std::vector<uint64_t> MethodInvocations;

@@ -66,6 +66,11 @@ void MutationManager::installPlan(const MutationPlan &Plan) {
       }
     }
   }
+
+  // The IMT rewiring above (and the special-TIB creation) changed how the
+  // same call sites must dispatch: interface sites that cached a Direct
+  // code pointer would otherwise keep bypassing the object's current TIB.
+  P.bumpCodeEpoch();
 }
 
 int MutationManager::matchInstanceState(const MutableClassPlan &CP,
@@ -123,6 +128,9 @@ void MutationManager::updateCodePointer(CompiledMethod *&SlotRef,
   SlotRef = To;
   Stats.CodePointerUpdates++;
   Stats.ExtraCycles += DispatchCost::PointerSwing;
+  // A TIB slot now routes differently (general <-> special code): any
+  // inline cache holding the previous pointer for this TIB is stale.
+  P.bumpCodeEpoch();
 }
 
 void MutationManager::onInstanceStateStore(Object *O, FieldInfo &F) {

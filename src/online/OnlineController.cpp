@@ -108,6 +108,12 @@ void OnlineMutationController::activate() {
   // Stop-the-world re-class pass: objects constructed before activation
   // migrate to the special TIB matching their current state.
   VM.mutation().migrateExistingObjects(VM.heap());
+  // Mid-run activation is the hardest case for the interpreter's inline
+  // caches: every warm call site predates the special TIBs. installPlan and
+  // the recompilation refresh above already bumped the code epoch; this
+  // final bump pins the invariant even if the plan rewired nothing (e.g. a
+  // plan with no mutable IMT slots and no already-hot methods).
+  P.bumpCodeEpoch();
   ActivationCycle = VM.totalCycles();
   CurPhase = Phase::Active;
 }

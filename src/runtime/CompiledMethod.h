@@ -21,8 +21,10 @@
 
 #include "ir/Function.h"
 #include "ir/Ids.h"
+#include "runtime/InlineCache.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace dchm {
 
@@ -39,6 +41,13 @@ public:
     // instruction. The baseline-ish opt0 translation is less dense than
     // optimized code, mirroring Jikes' baseline-vs-opt code size ratio.
     CodeBytes = 32 + Code.Insts.size() * (OptLevel == 0 ? 14 : 10);
+    // Assign one inline-cache site per call instruction in this version's
+    // body. Sites belong to the compiled code, not the method: recompiling
+    // produces fresh (cold) sites, like a JIT emitting fresh cache stubs.
+    uint32_t NumSites = 0;
+    for (Instruction &I : Code.Insts)
+      I.IcSlot = isCall(I.Op) ? NumSites++ : NoIcSlot;
+    IcSites.resize(NumSites);
   }
 
   MethodInfo &method() const { return *Method; }
@@ -55,6 +64,12 @@ public:
   bool isInvalidated() const { return Invalidated; }
   void invalidate() { Invalidated = true; }
 
+  /// Inline-cache site for a call instruction (indexed by Instruction::
+  /// IcSlot). Mutated by the interpreter during execution; guarded against
+  /// dispatch-structure changes by the Program's code epoch.
+  InlineCacheSite &icSite(uint32_t Slot) { return IcSites[Slot]; }
+  size_t numIcSites() const { return IcSites.size(); }
+
 private:
   MethodInfo *Method;
   IRFunction Code;
@@ -63,6 +78,7 @@ private:
   uint64_t CompileCycles;
   size_t CodeBytes;
   bool Invalidated = false;
+  std::vector<InlineCacheSite> IcSites; ///< one per call site in Code
 };
 
 } // namespace dchm

@@ -33,8 +33,11 @@ namespace dchm {
 /// throughput figures.
 constexpr uint64_t CyclesPerSecond = 100'000'000;
 
-/// Per-opcode execution cost in cycles (dispatch overheads excluded).
-inline uint64_t opcodeCycles(Opcode Op) {
+namespace detail {
+/// Per-opcode execution cost by exhaustive switch; the public opcodeCycles
+/// reads the table precomputed from this at compile time (the lookup sits on
+/// the interpreter's per-instruction fetch path).
+constexpr uint64_t opcodeCyclesSwitch(Opcode Op) {
   switch (Op) {
   case Opcode::ConstI:
   case Opcode::ConstF:
@@ -110,6 +113,21 @@ inline uint64_t opcodeCycles(Opcode Op) {
     return 10;
   }
   return 1;
+}
+
+struct OpcodeCycleTable {
+  uint64_t Cycles[NumOpcodes] = {};
+  constexpr OpcodeCycleTable() {
+    for (unsigned I = 0; I < NumOpcodes; ++I)
+      Cycles[I] = opcodeCyclesSwitch(static_cast<Opcode>(I));
+  }
+};
+inline constexpr OpcodeCycleTable CycleTable{};
+} // namespace detail
+
+/// Per-opcode execution cost in cycles (dispatch overheads excluded).
+inline uint64_t opcodeCycles(Opcode Op) {
+  return detail::CycleTable.Cycles[static_cast<unsigned>(Op)];
 }
 
 /// Call and dispatch overheads (frame setup + the dispatch loads).

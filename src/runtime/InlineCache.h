@@ -1,0 +1,97 @@
+//===-- runtime/InlineCache.h - Mutation-safe inline caches ---*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-call-site inline caches for the interpreter's dispatch fast path,
+/// memoizing the (receiver TIB -> compiled code) resolution of virtual and
+/// interface calls and the JTOC / declaring-class-TIB lookup of static and
+/// special calls.
+///
+/// Correctness under dynamic class hierarchy mutation rests on two rules:
+///
+///  1. Caches are keyed on the receiver's *TIB pointer*, never its class.
+///     Part I of the distributed mutation algorithm re-points an object's
+///     TIB between the class TIB and special TIBs; a swung object simply
+///     keys a different cache entry, so no invalidation is needed for
+///     object TIB swings (mirroring the paper's "zero dispatch overhead"
+///     property of TIB swapping).
+///
+///  2. Any write to a dispatch structure — a TIB or JTOC code-pointer
+///     patch (part I static branch, part II recompilation routing), a
+///     lazy/adaptive code installation, or an IMT rewiring at plan install
+///     — bumps Program::codeEpoch(). A cache site stamped with an older
+///     epoch is treated as empty, so a stale cache can never bypass a
+///     freshly installed special (or general) TIB entry.
+///
+/// Interface-call entries additionally carry the simulated extra cycles of
+/// the seed resolution path (TIB-offset extra load, conflict-stub search),
+/// so the CostModel accounting is bit-identical with caching on or off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_RUNTIME_INLINECACHE_H
+#define DCHM_RUNTIME_INLINECACHE_H
+
+#include <cstdint>
+
+namespace dchm {
+
+class CompiledMethod;
+
+/// Cache associativity: a monomorphic site uses one way; megamorphic sites
+/// rotate through the ways (classic polymorphic-inline-cache depth).
+constexpr unsigned IcWays = 4;
+
+/// One (key -> target) entry of a polymorphic inline cache.
+struct IcEntry {
+  /// Receiver TIB for virtual/interface sites; the site itself for
+  /// static/special sites (whose resolution has no receiver component).
+  const void *Key = nullptr;
+  CompiledMethod *Target = nullptr;
+  /// Simulated cycles the seed resolution would charge beyond the base
+  /// dispatch cost (interface TIB-offset load or conflict-stub search).
+  uint64_t ExtraCycles = 0;
+};
+
+/// One call site's cache: a few ways plus the code epoch it was filled in.
+struct InlineCacheSite {
+  uint64_t Epoch = 0; ///< valid only while == Program::codeEpoch()
+  uint8_t NextVictim = 0;
+  IcEntry Ways[IcWays];
+
+  /// Looks up Key; returns the entry or null. A site stamped with a stale
+  /// epoch always misses (the caller refills it via the slow path).
+  const IcEntry *lookup(const void *Key, uint64_t CurEpoch) const {
+    if (Epoch != CurEpoch)
+      return nullptr;
+    for (const IcEntry &E : Ways)
+      if (E.Key == Key)
+        return &E;
+    return nullptr;
+  }
+
+  /// Installs (Key -> Target) after a slow-path resolution. Entries from an
+  /// older epoch are discarded wholesale first.
+  void insert(const void *Key, CompiledMethod *Target, uint64_t ExtraCycles,
+              uint64_t CurEpoch) {
+    if (Epoch != CurEpoch) {
+      for (IcEntry &E : Ways)
+        E = IcEntry{};
+      Epoch = CurEpoch;
+      NextVictim = 0;
+    }
+    IcEntry &E = Ways[NextVictim];
+    NextVictim = static_cast<uint8_t>((NextVictim + 1) % IcWays);
+    E.Key = Key;
+    E.Target = Target;
+    E.ExtraCycles = ExtraCycles;
+  }
+};
+
+} // namespace dchm
+
+#endif // DCHM_RUNTIME_INLINECACHE_H

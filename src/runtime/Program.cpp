@@ -454,6 +454,8 @@ void Program::link() {
 
 void Program::installCode(MethodInfo &M, CompiledMethod *CM) {
   DCHM_CHECK(Linked, "installCode before link()");
+  // Every install rewrites dispatch structures: invalidate inline caches.
+  bumpCodeEpoch();
   M.General = CM;
   if (M.Flags.IsStatic) {
     // "The replacement occurs in the JTOC if the method is static."

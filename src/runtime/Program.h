@@ -89,7 +89,18 @@ public:
   CompiledMethod *staticEntry(MethodId M) const { return StaticEntries[M]; }
   void setStaticEntry(MethodId M, CompiledMethod *CM) {
     StaticEntries[M] = CM;
+    bumpCodeEpoch();
   }
+
+  // --- Dispatch-structure epoch (inline-cache invalidation) ----------------
+  /// Monotonic counter bumped on every write to a dispatch structure (TIB
+  /// slot, JTOC entry, IMT entry): code installation, mutation code-pointer
+  /// routing, and IMT rewiring. Inline caches stamped with an older epoch
+  /// are stale and must re-resolve, so a cached target can never bypass a
+  /// freshly installed special (or general) code pointer. Starts at 1 so a
+  /// zero-initialized cache site is never spuriously valid.
+  uint64_t codeEpoch() const { return CodeEpoch; }
+  void bumpCodeEpoch() { ++CodeEpoch; }
 
   // --- Code installation (Jikes default semantics) -------------------------
   /// Installs CM as the current general compiled code of M: JTOC entry for
@@ -130,6 +141,7 @@ private:
   std::vector<std::unique_ptr<TIB>> OwnedTibs;
   std::vector<std::unique_ptr<IMT>> OwnedImts;
 
+  uint64_t CodeEpoch = 1;
   bool Linked = false;
 };
 

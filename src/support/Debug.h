@@ -14,6 +14,7 @@
 #ifndef DCHM_SUPPORT_DEBUG_H
 #define DCHM_SUPPORT_DEBUG_H
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -24,6 +25,24 @@ namespace dchm {
 [[noreturn]] inline void reportFatalError(const char *Msg, const char *File,
                                           int Line) {
   std::fprintf(stderr, "dchm fatal error: %s (%s:%d)\n", Msg, File, Line);
+  std::abort();
+}
+
+/// Formatted variant for runtime conditions whose diagnosis needs dynamic
+/// context (method names, depths, indices). Still aborts: the library is
+/// exception-free, but the message must let the user identify the culprit.
+#if defined(__GNUC__) || defined(__clang__)
+[[noreturn]] inline void reportFatalErrorf(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+#endif
+
+[[noreturn]] inline void reportFatalErrorf(const char *Fmt, ...) {
+  std::va_list Args;
+  va_start(Args, Fmt);
+  std::fputs("dchm fatal error: ", stderr);
+  std::vfprintf(stderr, Fmt, Args);
+  std::fputc('\n', stderr);
+  va_end(Args);
   std::abort();
 }
 

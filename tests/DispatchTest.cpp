@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 using namespace dchm;
 
 namespace {
@@ -205,6 +207,109 @@ TEST_F(DispatchFixture, RecompilationReplacesCode) {
   EXPECT_EQ(M.General, P.cls(A).ClassTib->Slots[M.VSlot]);
   // Results stay correct across recompilation.
   EXPECT_EQ(VM.call(DrvVirtual, {valueR(OA)}).I, 1);
+}
+
+// --- Mutation-safe inline caches (docs/dispatch.md) ---------------------------
+
+TEST_F(DispatchFixture, InlineCachesHitOnMonomorphicSites) {
+  VirtualMachine VM(P, {}); // ICs default on
+  ASSERT_TRUE(VM.interp().inlineCachesEnabled());
+  Object *OA = make(VM, A, ACtor);
+  for (int I = 0; I < 100; ++I) {
+    ASSERT_EQ(VM.call(DrvVirtual, {valueR(OA)}).I, 1);
+    ASSERT_EQ(VM.call(DrvIface, {valueR(OA)}).I, 1);
+  }
+  const ExecStats &S = VM.interp().stats();
+  // One CallVirtual site and one CallInterface site, each monomorphic: one
+  // slow-path fill per site (plus one refill when the lazy compilation of
+  // the second driver bumps the code epoch), hits afterwards.
+  EXPECT_GE(S.IcHits, 196u);
+  EXPECT_LE(S.IcMisses, 4u);
+}
+
+TEST_F(DispatchFixture, InlineCachesHoldPolymorphicReceivers) {
+  VirtualMachine VM(P, {});
+  Object *OA = make(VM, A, ACtor);
+  Object *OB = make(VM, B, BCtor);
+  // Alternate receivers through the same sites: a 4-way cache keeps both
+  // TIBs resident, and each receiver's dynamic type still wins.
+  for (int I = 0; I < 50; ++I) {
+    ASSERT_EQ(VM.call(DrvVirtual, {valueR(OA)}).I, 1);
+    ASSERT_EQ(VM.call(DrvVirtual, {valueR(OB)}).I, 2);
+    ASSERT_EQ(VM.call(DrvIface, {valueR(OA)}).I, 1);
+    ASSERT_EQ(VM.call(DrvIface, {valueR(OB)}).I, 2);
+  }
+  const ExecStats &S = VM.interp().stats();
+  EXPECT_GE(S.IcHits, 190u); // 4 ways cover {A,B} x {virtual,interface}
+  EXPECT_LE(S.IcMisses, 8u);
+}
+
+TEST_F(DispatchFixture, RecompilationBumpsEpochAndInvalidatesCaches) {
+  VMOptions Opts;
+  Opts.Adaptive.Opt1Threshold = 10;
+  Opts.Adaptive.Opt2Threshold = 50;
+  VirtualMachine VM(P, Opts);
+  Object *OA = make(VM, A, ACtor);
+  uint64_t Epoch0 = P.codeEpoch();
+  for (int I = 0; I < 200; ++I)
+    ASSERT_EQ(VM.call(DrvVirtual, {valueR(OA)}).I, 1);
+  // Promotions patched TIB slots, so every dispatch-structure write moved
+  // the code epoch; warm cache entries from before each patch are dead.
+  EXPECT_EQ(P.method(ATag).CurOptLevel, 2);
+  EXPECT_GT(P.codeEpoch(), Epoch0);
+  const ExecStats &S = VM.interp().stats();
+  // The site re-resolves after each invalidation (initial fill plus at
+  // least one refill per recompilation of callee or caller)...
+  EXPECT_GE(S.IcMisses, 3u);
+  // ...but stays cached between invalidations: hits dominate.
+  EXPECT_GT(S.IcHits, S.IcMisses * 10);
+}
+
+TEST_F(DispatchFixture, DispatchConfigsAgreeOnResultsAndSimulatedCost) {
+  struct Config {
+    DispatchMode DM;
+    bool ICs, Arena;
+  };
+  const Config Configs[] = {
+      {DispatchMode::Switch, false, false}, // the seed interpreter
+      {DispatchMode::Switch, true, true},
+      {DispatchMode::Threaded, false, false},
+      {DispatchMode::Threaded, true, true},
+  };
+  // The fast-path knobs must never change results or simulated accounting
+  // (the acceptance bar of the dispatch overhaul). Freeze promotion so all
+  // four VMs execute the same opt0 code over the shared Program.
+  uint64_t BaseInsts = 0, BaseCycles = 0;
+  int64_t BaseSum = 0;
+  for (size_t K = 0; K < std::size(Configs); ++K) {
+    VMOptions Opts;
+    Opts.Adaptive.Opt1Threshold = 1u << 30;
+    Opts.Dispatch = Configs[K].DM;
+    Opts.InlineCaches = Configs[K].ICs;
+    Opts.FrameArena = Configs[K].Arena;
+    VirtualMachine VM(P, Opts);
+    Object *OA = make(VM, A, ACtor);
+    Object *OB = make(VM, B, BCtor);
+    int64_t Sum = 0;
+    for (int I = 0; I < 40; ++I) {
+      Sum += VM.call(DrvVirtual, {valueR(OA)}).I;
+      Sum += VM.call(DrvVirtual, {valueR(OB)}).I;
+      Sum += VM.call(DrvIface, {valueR(I % 2 ? OA : OB)}).I;
+      Sum += VM.call(DrvSuper, {valueR(OB)}).I;
+      Sum += VM.call(StaticTag, {}).I;
+      Sum += VM.call(CallPriv, {valueR(OA)}).I;
+    }
+    const ExecStats &S = VM.interp().stats();
+    if (K == 0) {
+      BaseSum = Sum;
+      BaseInsts = S.Insts;
+      BaseCycles = S.Cycles;
+      continue;
+    }
+    EXPECT_EQ(Sum, BaseSum) << "config " << K;
+    EXPECT_EQ(S.Insts, BaseInsts) << "config " << K;
+    EXPECT_EQ(S.Cycles, BaseCycles) << "config " << K;
+  }
 }
 
 TEST_F(DispatchFixture, SampleCountSharedAcrossVersions) {

@@ -62,6 +62,10 @@ struct CounterFixture {
   ClassId Iface, Counter, SubCounter, Driver;
   FieldId Mode, Total, GlobalMode;
   MethodId IfaceBump, CounterCtor, Bump, Get, SetMode, SubBump, StaticScale;
+  /// Interpreted driver bodies: unlike VM.call (which resolves through
+  /// invoke()), these execute real CallVirtual/CallInterface/CallStatic
+  /// instructions, so per-call-site inline caches are on the path.
+  MethodId DriveBump, DriveIface, DriveStatic, Report;
   MutationPlan Plan;
 
   /// Builds the fixture. WithStaticField adds a static state field
@@ -174,6 +178,87 @@ struct CounterFixture {
     }
 
     Driver = P->defineClass("TestDriver");
+
+    // driveBump(o, n): n virtual bump() calls from one loop — a single
+    // CallVirtual site that keeps re-reading the receiver's current TIB.
+    DriveBump = P->defineMethod(Driver, "driveBump", Type::Void,
+                                {Type::Ref, Type::I64}, {.IsStatic = true});
+    {
+      FunctionBuilder B("TestDriver.driveBump", Type::Void);
+      Reg O = B.addArg(Type::Ref);
+      Reg N = B.addArg(Type::I64);
+      Reg I = B.newReg(Type::I64);
+      B.move(I, B.constI(0));
+      Reg One = B.constI(1);
+      auto Head = B.makeLabel();
+      auto Exit = B.makeLabel();
+      B.bind(Head);
+      B.cbz(B.cmp(Opcode::CmpLT, I, N), Exit);
+      B.callVirtual(Bump, {O}, Type::Void);
+      B.move(I, B.add(I, One));
+      B.br(Head);
+      B.bind(Exit);
+      B.retVoid();
+      P->setBody(DriveBump, B.finalize());
+    }
+
+    // driveIface(o, n): same loop through the interface (IMT dispatch).
+    DriveIface = P->defineMethod(Driver, "driveIface", Type::Void,
+                                 {Type::Ref, Type::I64}, {.IsStatic = true});
+    {
+      FunctionBuilder B("TestDriver.driveIface", Type::Void);
+      Reg O = B.addArg(Type::Ref);
+      Reg N = B.addArg(Type::I64);
+      Reg I = B.newReg(Type::I64);
+      B.move(I, B.constI(0));
+      Reg One = B.constI(1);
+      auto Head = B.makeLabel();
+      auto Exit = B.makeLabel();
+      B.bind(Head);
+      B.cbz(B.cmp(Opcode::CmpLT, I, N), Exit);
+      B.callInterface(IfaceBump, {O}, Type::Void);
+      B.move(I, B.add(I, One));
+      B.br(Head);
+      B.bind(Exit);
+      B.retVoid();
+      P->setBody(DriveIface, B.finalize());
+    }
+
+    // driveStatic(n): accumulates n staticScale() results through one
+    // CallStatic site (JTOC dispatch).
+    DriveStatic = P->defineMethod(Driver, "driveStatic", Type::I64,
+                                  {Type::I64}, {.IsStatic = true});
+    {
+      FunctionBuilder B("TestDriver.driveStatic", Type::I64);
+      Reg N = B.addArg(Type::I64);
+      Reg Acc = B.newReg(Type::I64);
+      B.move(Acc, B.constI(0));
+      Reg I = B.newReg(Type::I64);
+      B.move(I, B.constI(0));
+      Reg One = B.constI(1);
+      auto Head = B.makeLabel();
+      auto Exit = B.makeLabel();
+      B.bind(Head);
+      B.cbz(B.cmp(Opcode::CmpLT, I, N), Exit);
+      B.move(Acc, B.add(Acc, B.callStatic(StaticScale, {}, Type::I64)));
+      B.move(I, B.add(I, One));
+      B.br(Head);
+      B.bind(Exit);
+      B.ret(Acc);
+      P->setBody(DriveStatic, B.finalize());
+    }
+
+    // report(o): prints get(o), feeding the output hash (the semantic
+    // equivalence witness for mutation-on vs mutation-off runs).
+    Report = P->defineMethod(Driver, "report", Type::Void, {Type::Ref},
+                             {.IsStatic = true});
+    {
+      FunctionBuilder B("TestDriver.report", Type::Void);
+      Reg O = B.addArg(Type::Ref);
+      B.printNum(B.callVirtual(Get, {O}, Type::I64), Type::I64);
+      B.retVoid();
+      P->setBody(Report, B.finalize());
+    }
     P->link();
 
     // The mutation plan: Counter is mutable on `mode` with hot states
