@@ -1,0 +1,180 @@
+//===-- compiler/CompilePipeline.cpp - Background compilation ----------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/CompilePipeline.h"
+
+#include "compiler/Passes.h"
+#include "runtime/CompiledMethod.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#endif
+
+namespace dchm {
+
+CompilePipeline::~CompilePipeline() {
+  // Let in-flight work publish rather than tearing threads down mid-job:
+  // pending shells are owned by MethodInfo objects that outlive the VM.
+  drain();
+  stopWorkers();
+}
+
+void CompilePipeline::configure(const Config &C) {
+  drain();
+  stopWorkers();
+  Cfg = C;
+  if (Cfg.Async) {
+    Cfg.Threads = std::max(1u, Cfg.Threads);
+    ShuttingDown = false;
+    Workers.reserve(Cfg.Threads);
+    for (unsigned I = 0; I < Cfg.Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+}
+
+CompilePipeline::Config CompilePipeline::configFromEnv(Config Defaults) {
+  Config C = Defaults;
+  if (const char *E = std::getenv("DCHM_ASYNC_COMPILE")) {
+    C.Async = !(std::strcmp(E, "OFF") == 0 || std::strcmp(E, "off") == 0 ||
+                std::strcmp(E, "0") == 0 || std::strcmp(E, "false") == 0);
+  }
+  if (const char *E = std::getenv("DCHM_COMPILE_THREADS")) {
+    long N = std::strtol(E, nullptr, 10);
+    if (N >= 1 && N <= 64)
+      C.Threads = static_cast<unsigned>(N);
+  }
+  return C;
+}
+
+void CompilePipeline::runJob(Job &J) {
+  if (J.Level >= 1)
+    runOptPipeline(J.Body);
+  J.CM->finalizeCode(std::move(J.Body));
+}
+
+void CompilePipeline::enqueue(CompiledMethod *CM, IRFunction Body, int Level,
+                              CompilePriority Pr) {
+  DCHM_CHECK(!CM->ready(), "enqueue of an already-finalized compiled method");
+  Job J;
+  J.CM = CM;
+  J.Body = std::move(Body);
+  J.Level = Level;
+  J.Pr = Pr;
+  // Level-0 code is a direct translation — there is no optimization work to
+  // offload, and lazy first compiles sit on the application's critical path
+  // anyway. Run those inline even in async mode.
+  if (!Cfg.Async || Level < 1) {
+    Stats.InlineRuns++;
+    runJob(J);
+    return;
+  }
+  Stats.Enqueued++;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    J.Seq = NextSeq++;
+    Queue.push_back(std::move(J));
+    Pending.store(Queue.size() + InFlight, std::memory_order_relaxed);
+  }
+  WorkCv.notify_one();
+}
+
+void CompilePipeline::waitFor(CompiledMethod &CM) {
+  if (CM.ready())
+    return;
+  DCHM_CHECK(Cfg.Async, "pending compiled method with a synchronous pipeline");
+  Stats.UrgentWaits++;
+  std::unique_lock<std::mutex> L(Mu);
+  for (Job &J : Queue)
+    if (J.CM == &CM)
+      J.Pr = CompilePriority::Urgent;
+  WorkCv.notify_all();
+  DoneCv.wait(L, [&] { return CM.ready(); });
+}
+
+void CompilePipeline::boost(CompiledMethod &CM) {
+  if (CM.ready())
+    return;
+  bool Changed = false;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    for (Job &J : Queue)
+      if (J.CM == &CM && J.Pr > CompilePriority::Urgent) {
+        J.Pr = CompilePriority::Urgent;
+        Stats.Boosts++;
+        Changed = true;
+      }
+  }
+  // Only kick the workers when a priority actually moved: boosts arrive in
+  // bursts (one per migrated object) and re-waking the pool on each would
+  // let compilation preempt the application mid-burst on small hosts.
+  if (Changed)
+    WorkCv.notify_all();
+}
+
+void CompilePipeline::drain() {
+  // Acquire pairs with the worker's release on completion, so a fast-path
+  // return still orders the caller after every finished job's writes.
+  if (Pending.load(std::memory_order_acquire) == 0)
+    return;
+  std::unique_lock<std::mutex> L(Mu);
+  DoneCv.wait(L, [&] { return Queue.empty() && InFlight == 0; });
+}
+
+void CompilePipeline::workerLoop() {
+#if defined(__linux__)
+  // Compiler threads yield to the application thread, like the background
+  // recompilation threads of a production VM. On Linux setpriority() with
+  // who == 0 applies to the calling thread only, which is exactly what we
+  // want; best-effort elsewhere.
+  setpriority(PRIO_PROCESS, 0, 19);
+#endif
+  std::unique_lock<std::mutex> L(Mu);
+  for (;;) {
+    WorkCv.wait(L, [&] { return ShuttingDown || !Queue.empty(); });
+    if (ShuttingDown && Queue.empty())
+      return;
+    // Pick the best (priority, enqueue order) job. Queues stay small — at
+    // most one activation burst of |mutable methods| x |hot states| — so a
+    // linear scan beats maintaining a heap under the boost mutations.
+    size_t Best = 0;
+    for (size_t I = 1; I < Queue.size(); ++I)
+      if (Queue[I].Pr < Queue[Best].Pr ||
+          (Queue[I].Pr == Queue[Best].Pr && Queue[I].Seq < Queue[Best].Seq))
+        Best = I;
+    Job J = std::move(Queue[Best]);
+    Queue.erase(Queue.begin() + static_cast<std::ptrdiff_t>(Best));
+    ++InFlight;
+    L.unlock();
+
+    runJob(J);
+
+    L.lock();
+    --InFlight;
+    Pending.store(Queue.size() + InFlight, std::memory_order_release);
+    DoneCv.notify_all();
+  }
+}
+
+void CompilePipeline::stopWorkers() {
+  if (Workers.empty())
+    return;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+  Workers.clear();
+}
+
+} // namespace dchm

@@ -1,0 +1,138 @@
+//===-- compiler/CompilePipeline.h - Background compilation ---*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A worker-thread pool that runs the optimization pipeline for pending
+/// CompiledMethod shells off the application thread. The determinism
+/// contract (docs/compile_pipeline.md): everything observable in the
+/// *simulated* machine — modeled compile cycles, instruction counts,
+/// program output — is decided synchronously at enqueue time, in program
+/// order, by OptCompiler. Workers only perform host-side optimization work
+/// and publish the body via CompiledMethod::finalizeCode; scheduling can
+/// therefore change wall time but never results.
+///
+/// Requests are prioritized: a request the application thread is blocked on
+/// (waitFor) jumps the queue, general recompiles run before specialized
+/// versions, and the mutation engine boosts a pending special when an object
+/// actually swings into its hot state. Ties are broken by enqueue order, so
+/// a single-threaded pool degrades to exactly the synchronous schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_COMPILER_COMPILEPIPELINE_H
+#define DCHM_COMPILER_COMPILEPIPELINE_H
+
+#include "ir/Function.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dchm {
+
+class CompiledMethod;
+
+/// Relative urgency of a queued compile. Lower value = served first.
+enum class CompilePriority : unsigned {
+  Urgent = 0,  ///< the application thread is (about to be) blocked on it
+  General = 1, ///< general recompile: the method's only executable version
+  Special = 2, ///< specialized version: general code covers until it lands
+};
+
+/// Host-side activity counters (wall-time diagnostics; never part of the
+/// simulated metrics).
+struct PipelineStats {
+  uint64_t Enqueued = 0;      ///< jobs handed to workers
+  uint64_t InlineRuns = 0;    ///< jobs run synchronously (sync mode / opt0)
+  uint64_t UrgentWaits = 0;   ///< waitFor calls that found the code pending
+  uint64_t Boosts = 0;        ///< priority raises on queued jobs
+};
+
+/// Background compiler for pending CompiledMethod shells.
+class CompilePipeline {
+public:
+  struct Config {
+    bool Async = false;   ///< off: every enqueue() runs the job inline
+    unsigned Threads = 1; ///< worker count when async
+  };
+
+  CompilePipeline() = default;
+  ~CompilePipeline();
+  CompilePipeline(const CompilePipeline &) = delete;
+  CompilePipeline &operator=(const CompilePipeline &) = delete;
+
+  /// (Re)configures the pool. Drains and stops existing workers first; must
+  /// not race enqueue/waitFor (the VM configures once, at construction).
+  void configure(const Config &C);
+  bool async() const { return Cfg.Async; }
+  unsigned threads() const { return Cfg.Threads; }
+
+  /// Environment override helper: reads DCHM_ASYNC_COMPILE (ON/OFF/1/0) and
+  /// DCHM_COMPILE_THREADS on top of the given defaults.
+  static Config configFromEnv(Config Defaults);
+
+  /// Submits the optimization work for CM's body. The shell's modeled cost
+  /// is already charged and its pointer already installable; this only
+  /// schedules the host-side work. In sync mode (or for jobs with no
+  /// optimization pipeline to run, Level < 1) the job runs inline and CM is
+  /// ready on return.
+  void enqueue(CompiledMethod *CM, IRFunction Body, int Level,
+               CompilePriority Pr);
+
+  /// Blocks until CM is ready, boosting its queued job to Urgent so an idle
+  /// worker picks it next. No-op if CM is already ready.
+  void waitFor(CompiledMethod &CM);
+
+  /// Raises the priority of CM's queued job (e.g. an object just swung into
+  /// the hot state this special serves). Non-blocking; no-op if the job is
+  /// not queued.
+  void boost(CompiledMethod &CM);
+
+  /// Blocks until every queued and in-flight job has finished.
+  void drain();
+
+  /// True while any job is queued or in flight. Lock-free; callers use it
+  /// to skip boost bookkeeping on the hot path.
+  bool hasPending() const {
+    return Pending.load(std::memory_order_relaxed) != 0;
+  }
+
+  const PipelineStats &stats() const { return Stats; }
+
+private:
+  struct Job {
+    CompiledMethod *CM = nullptr;
+    IRFunction Body;
+    int Level = 0;
+    CompilePriority Pr = CompilePriority::General;
+    uint64_t Seq = 0;
+  };
+
+  static void runJob(Job &J);
+  void workerLoop();
+  void stopWorkers();
+
+  Config Cfg;
+  std::vector<std::thread> Workers;
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv; ///< queue became non-empty / shutdown
+  std::condition_variable DoneCv; ///< a job finished
+  std::deque<Job> Queue;
+  size_t InFlight = 0;
+  uint64_t NextSeq = 0;
+  bool ShuttingDown = false;
+  std::atomic<size_t> Pending{0}; ///< Queue.size() + InFlight
+  PipelineStats Stats;            ///< app-thread fields except via mutex
+};
+
+} // namespace dchm
+
+#endif // DCHM_COMPILER_COMPILEPIPELINE_H

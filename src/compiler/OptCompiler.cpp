@@ -12,32 +12,75 @@
 #include "runtime/CostModel.h"
 #include "support/Debug.h"
 
+#include <cstdio>
+
 namespace dchm {
 
+void OptCompiler::setOlcDatabase(const OlcDatabase *Db) {
+  Olc = Db;
+  SpecCache.clear();
+}
+
+void OptCompiler::setPlan(const MutationPlan *Pl) {
+  Plan = Pl;
+  SpecCache.clear();
+}
+
+void OptCompiler::configure(bool Async, unsigned Threads,
+                            bool SpecializationCache) {
+  CompilePipeline::Config C;
+  C.Async = Async;
+  C.Threads = Threads;
+  Pipeline.configure(C);
+  CacheEnabled = SpecializationCache;
+}
+
+void OptCompiler::foldBytes(CompiledMethod *CM) {
+  Stats.TotalCodeBytes += CM->codeBytes();
+  if (CM->isSpecialized())
+    Stats.SpecialCodeBytes += CM->codeBytes();
+}
+
+void OptCompiler::sync() {
+  Pipeline.drain();
+  for (CompiledMethod *CM : PendingBytes)
+    foldBytes(CM);
+  PendingBytes.clear();
+}
+
 CompiledMethod *OptCompiler::finish(MethodInfo &M, IRFunction Code, int Level,
-                                    int StateIdx) {
-  // Compile cost scales with the unit size the optimizer actually processed
-  // (post-inlining instruction count).
+                                    int StateIdx, CompilePriority Pr) {
+  // Compile cost scales with the unit size the optimizer actually processes
+  // (post-inlining instruction count). Charged here, at request time in
+  // program order — the pipeline's determinism hinge.
   size_t UnitSize = Code.Insts.size();
-  if (Level >= 1)
-    runOptPipeline(Code);
   uint64_t Cycles =
       StateIdx >= 0
           ? CompileCost::SpecialPerCompile + CompileCost::SpecialPerInst * UnitSize
           : CompileCost::PerCompile + CompileCost::perInst(Level) * UnitSize;
 
-  M.CompiledVersions.push_back(std::make_unique<CompiledMethod>(
-      M, std::move(Code), Level, StateIdx, Cycles));
+  M.CompiledVersions.push_back(
+      std::make_unique<CompiledMethod>(M, Level, StateIdx, Cycles));
   CompiledMethod *CM = M.CompiledVersions.back().get();
 
   Stats.TotalCompileCycles += Cycles;
-  Stats.TotalCodeBytes += CM->codeBytes();
   if (StateIdx >= 0) {
     Stats.SpecialCompileCycles += Cycles;
-    Stats.SpecialCodeBytes += CM->codeBytes();
     Stats.SpecialCompiles++;
   } else {
     Stats.CompilesAtLevel[Level < 0 ? 0 : (Level > 2 ? 2 : Level)]++;
+  }
+
+  if (!Pipeline.async() || Level < 1) {
+    // Synchronous back half: opt passes now, body ready on return, bytes
+    // folded immediately (the seed-identical bookkeeping order).
+    if (Level >= 1)
+      runOptPipeline(Code);
+    CM->finalizeCode(std::move(Code));
+    foldBytes(CM);
+  } else {
+    PendingBytes.push_back(CM);
+    Pipeline.enqueue(CM, std::move(Code), Level, Pr);
   }
   return CM;
 }
@@ -53,7 +96,8 @@ CompiledMethod *OptCompiler::compileGeneral(MethodInfo &M, int Level) {
     Stats.Inlining.TradeoffRejections += IS.TradeoffRejections;
     Stats.Inlining.InstsAdded += IS.InstsAdded;
   }
-  CompiledMethod *CM = finish(M, std::move(Code), Level, -1);
+  CompiledMethod *CM =
+      finish(M, std::move(Code), Level, -1, CompilePriority::General);
   if (Level > M.CurOptLevel)
     M.CurOptLevel = Level;
   return CM;
@@ -64,12 +108,52 @@ CompiledMethod *OptCompiler::compileSpecial(MethodInfo &M, int Level,
                                             size_t StateIdx) {
   DCHM_CHECK(M.HasBody, "compiling a method without a body");
   IRFunction Code = M.Bytecode;
-  specializeForState(Code, M, CP, StateIdx);
+  std::vector<ConsumedBinding> Consumed;
+  specializeForState(Code, M, CP, StateIdx,
+                     CacheEnabled ? &Consumed : nullptr);
+  Stats.SpecialCompileRequests++;
+
+  std::string Key;
+  if (CacheEnabled) {
+    // Content key: method + level + exactly the bindings the body consumed.
+    // Fields the method never reads are excluded, so hot states that are
+    // indistinguishable to this method collide — which is the point.
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "m%u|l%d", M.Id, Level);
+    Key = Buf;
+    for (const ConsumedBinding &B : Consumed) {
+      std::snprintf(Buf, sizeof(Buf), "|f%u:%llx", B.Field,
+                    static_cast<unsigned long long>(B.Bits));
+      Key += Buf;
+    }
+    auto It = SpecCache.find(Key);
+    if (It != SpecCache.end() && !It->second.CM->isInvalidated()) {
+      // Identical consumed bindings mean an identical specialized body and
+      // (since plan, OLC, and inliner config are fixed for the run)
+      // identical post-inlining size, so charging from the cached unit size
+      // reproduces a recompile's cycles bit-for-bit.
+      uint64_t Cycles = CompileCost::SpecialPerCompile +
+                        CompileCost::SpecialPerInst * It->second.UnitSize;
+      Stats.TotalCompileCycles += Cycles;
+      Stats.SpecialCompileCycles += Cycles;
+      Stats.SpecialCacheHits++;
+      Stats.SpecialCyclesSharedWork += Cycles;
+      It->second.CM->addShare();
+      return It->second.CM;
+    }
+  }
+
   if (Level >= 2) {
     Inliner Inl(P, InlineCfg, Olc, Plan);
     Inl.run(Code, M);
   }
-  return finish(M, std::move(Code), Level, static_cast<int>(StateIdx));
+  size_t UnitSize = Code.Insts.size();
+  CompiledMethod *CM = finish(M, std::move(Code), Level,
+                              static_cast<int>(StateIdx),
+                              CompilePriority::Special);
+  if (CacheEnabled)
+    SpecCache[Key] = {CM, UnitSize};
+  return CM;
 }
 
 } // namespace dchm

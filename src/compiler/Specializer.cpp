@@ -9,6 +9,8 @@
 
 #include "support/Debug.h"
 
+#include <algorithm>
+
 namespace dchm {
 
 namespace {
@@ -51,15 +53,16 @@ bool readsReceiver(const Instruction &I, const MethodInfo &M) {
 } // namespace
 
 unsigned specializeForState(IRFunction &F, const MethodInfo &M,
-                            const MutableClassPlan &Plan, size_t StateIdx) {
+                            const MutableClassPlan &Plan, size_t StateIdx,
+                            std::vector<ConsumedBinding> *Consumed) {
   DCHM_CHECK(StateIdx < Plan.HotStates.size(), "bad hot state index");
   unsigned Folded = 0;
   for (Instruction &I : F.Insts) {
     if (!isStateFieldRead(I))
       continue;
+    FieldId FId = static_cast<FieldId>(I.Imm);
     Value V;
-    if (!lookupBinding(Plan, StateIdx, static_cast<FieldId>(I.Imm),
-                       readsReceiver(I, M), V))
+    if (!lookupBinding(Plan, StateIdx, FId, readsReceiver(I, M), V))
       continue;
     DCHM_CHECK(I.Ty == Type::I64 || I.Ty == Type::F64,
                "state fields must be primitive");
@@ -75,7 +78,18 @@ unsigned specializeForState(IRFunction &F, const MethodInfo &M,
       I.Op = Opcode::ConstF;
       I.FImm = V.F;
     }
+    if (Consumed)
+      Consumed->push_back(
+          {FId, static_cast<uint64_t>(V.I)}); // F64 aliases the same bits
     ++Folded;
+  }
+  if (Consumed) {
+    std::sort(Consumed->begin(), Consumed->end(),
+              [](const ConsumedBinding &A, const ConsumedBinding &B) {
+                return A.Field < B.Field;
+              });
+    Consumed->erase(std::unique(Consumed->begin(), Consumed->end()),
+                    Consumed->end());
   }
   return Folded;
 }

@@ -9,13 +9,45 @@
 
 #include "support/Debug.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace dchm {
+
+namespace {
+/// Resolves a HostToggle: Auto defers to the named environment variable,
+/// falling back to Default when it is unset.
+bool resolveToggle(HostToggle T, const char *EnvVar, bool Default) {
+  if (T == HostToggle::On)
+    return true;
+  if (T == HostToggle::Off)
+    return false;
+  if (const char *E = std::getenv(EnvVar))
+    return !(std::strcmp(E, "OFF") == 0 || std::strcmp(E, "off") == 0 ||
+             std::strcmp(E, "0") == 0 || std::strcmp(E, "false") == 0);
+  return Default;
+}
+} // namespace
 
 VirtualMachine::VirtualMachine(Program &P, const VMOptions &Opts)
     : P(P), Opts(Opts), TheHeap(Opts.HeapBytes), Compiler(P),
       Adaptive(P, Compiler, Opts.Adaptive), Mutation(P) {
   DCHM_CHECK(P.isLinked(), "VirtualMachine requires a linked program");
   Compiler.inlinerConfig() = Opts.Inline;
+  // Background compilation and the specialization cache default on; the
+  // environment (DCHM_ASYNC_COMPILE / DCHM_COMPILE_THREADS / DCHM_SPEC_CACHE)
+  // overrides Auto settings, explicit VMOptions override everything (so the
+  // determinism harnesses can pin configurations).
+  bool Async = resolveToggle(Opts.AsyncCompile, "DCHM_ASYNC_COMPILE", true);
+  bool Cache =
+      resolveToggle(Opts.SpecializationCache, "DCHM_SPEC_CACHE", true);
+  unsigned Threads = Opts.CompileThreads;
+  if (Threads == 0) {
+    CompilePipeline::Config C = CompilePipeline::configFromEnv({true, 2});
+    Threads = C.Threads;
+  }
+  Compiler.configure(Async, Threads, Cache);
+  Mutation.setCompiler(&Compiler);
   Interp = std::make_unique<Interpreter>(P, TheHeap, *this, Opts.Dispatch,
                                          Opts.InlineCaches, Opts.FrameArena);
   Interp->setInlineSampling(Opts.Adaptive.SampleInterval == 1);
@@ -48,7 +80,9 @@ uint64_t VirtualMachine::totalCycles() const {
          TheHeap.stats().GcCycles + Mutation.stats().ExtraCycles;
 }
 
-RunMetrics VirtualMachine::metrics() const {
+RunMetrics VirtualMachine::metrics() {
+  // Finalize in-flight background compiles so byte counters are complete.
+  Compiler.sync();
   RunMetrics M;
   M.ExecCycles = Interp->stats().Cycles;
   M.CompileCycles = Compiler.stats().TotalCompileCycles;
@@ -60,6 +94,9 @@ RunMetrics VirtualMachine::metrics() const {
   M.SpecialCodeBytes = Compiler.stats().SpecialCodeBytes;
   M.ClassTibBytes = P.classTibBytes();
   M.SpecialTibBytes = P.specialTibBytes();
+  M.SpecialCompiles = Compiler.stats().SpecialCompiles;
+  M.SpecialCompileRequests = Compiler.stats().SpecialCompileRequests;
+  M.SpecialCacheHits = Compiler.stats().SpecialCacheHits;
   M.GcCount = TheHeap.stats().GcCount;
   M.Insts = Interp->stats().Insts;
   M.Invocations = Interp->stats().Invocations;
@@ -73,6 +110,8 @@ RunMetrics VirtualMachine::metrics() const {
 CompiledMethod *VirtualMachine::ensureCompiled(MethodInfo &M) {
   return Adaptive.ensureCompiled(M);
 }
+
+void VirtualMachine::waitForCode(CompiledMethod &CM) { Compiler.waitFor(CM); }
 
 void VirtualMachine::onMethodEntry(MethodInfo &M) { Adaptive.onMethodEntry(M); }
 

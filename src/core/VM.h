@@ -39,6 +39,10 @@
 
 namespace dchm {
 
+/// Tri-state for host-side knobs: Auto defers to the environment variable
+/// (and its built-in default), On/Off force the setting for this VM.
+enum class HostToggle { Auto, On, Off };
+
 /// VM configuration for one run.
 struct VMOptions {
   /// Master switch for dynamic class hierarchy mutation. With it off the
@@ -54,6 +58,13 @@ struct VMOptions {
   DispatchMode Dispatch = DispatchMode::Default;
   bool InlineCaches = true; ///< per-call-site mutation-safe inline caches
   bool FrameArena = true;   ///< contiguous register arena vs per-frame files
+  /// Background compilation knobs (docs/compile_pipeline.md). Like the
+  /// dispatch knobs these change host wall time (and host-side compile/code
+  /// counters) only: simulated cycles, instruction counts, and output are
+  /// identical in every combination.
+  HostToggle AsyncCompile = HostToggle::Auto; ///< DCHM_ASYNC_COMPILE, def. on
+  unsigned CompileThreads = 0; ///< 0 = DCHM_COMPILE_THREADS, default 2
+  HostToggle SpecializationCache = HostToggle::Auto; ///< DCHM_SPEC_CACHE, def. on
 };
 
 /// Everything the experiment harness reads after (or during) a run.
@@ -68,6 +79,9 @@ struct RunMetrics {
   size_t SpecialCodeBytes = 0;
   size_t ClassTibBytes = 0;
   size_t SpecialTibBytes = 0;
+  unsigned SpecialCompiles = 0;        ///< specialized bodies compiled
+  unsigned SpecialCompileRequests = 0; ///< compiles + specialization-cache hits
+  unsigned SpecialCacheHits = 0;
   uint64_t GcCount = 0;
   uint64_t Insts = 0;
   uint64_t Invocations = 0;
@@ -110,10 +124,14 @@ public:
   Value call(MethodId M, const std::vector<Value> &Args);
 
   /// Total simulated cycles so far: execution + compilation + GC +
-  /// mutation bookkeeping. The drivers use this as the clock.
+  /// mutation bookkeeping. The drivers use this as the clock. Safe mid-run
+  /// with background compilation: compile cycles are charged at request
+  /// time on this thread, never by workers.
   uint64_t totalCycles() const;
 
-  RunMetrics metrics() const;
+  /// Drains background compilation first (compiler().sync()), so the byte
+  /// and code counters are final.
+  RunMetrics metrics();
 
   Program &program() { return P; }
   Heap &heap() { return TheHeap; }
@@ -125,6 +143,7 @@ public:
 
   // --- VMCallbacks (interpreter events) ------------------------------------
   CompiledMethod *ensureCompiled(MethodInfo &M) override;
+  void waitForCode(CompiledMethod &CM) override;
   void onMethodEntry(MethodInfo &M) override;
   void onBackedge(MethodInfo &M) override;
   void onInstanceStateStore(Object *O, FieldInfo &F,

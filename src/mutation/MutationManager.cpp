@@ -133,6 +133,19 @@ void MutationManager::updateCodePointer(CompiledMethod *&SlotRef,
   P.bumpCodeEpoch();
 }
 
+void MutationManager::boostPendingSpecials(const MutableClassPlan &CP,
+                                           size_t S) {
+  // Cheap gate: hasPending() is one relaxed load, so the common case (no
+  // background compiles in flight) costs nothing on the store-hook path.
+  if (!Compiler || !Compiler->pipeline().hasPending())
+    return;
+  for (MethodId MId : CP.MutableMethods) {
+    MethodInfo &M = P.method(MId);
+    if (S < M.Specials.size() && M.Specials[S])
+      Compiler->pipeline().boost(*M.Specials[S]);
+  }
+}
+
 void MutationManager::onInstanceStateStore(Object *O, FieldInfo &F) {
   // The receiver's *actual* class decides mutability: only instances of the
   // mutable class itself mutate (special code never propagates to
@@ -150,6 +163,7 @@ void MutationManager::onInstanceStateStore(Object *O, FieldInfo &F) {
   if (S >= 0) {
     Stats.StateMatches++;
     swingObjectTib(O, C->SpecialTibs[static_cast<size_t>(S)]);
+    boostPendingSpecials(CP, static_cast<size_t>(S));
   } else {
     Stats.StateMisses++;
     swingObjectTib(O, C->ClassTib);
@@ -172,6 +186,7 @@ void MutationManager::onConstructorExit(Object *O, MethodInfo &Ctor) {
   if (S >= 0) {
     Stats.StateMatches++;
     swingObjectTib(O, C->SpecialTibs[static_cast<size_t>(S)]);
+    boostPendingSpecials(CP, static_cast<size_t>(S));
   } else {
     Stats.StateMisses++;
     swingObjectTib(O, C->ClassTib);
@@ -194,6 +209,7 @@ uint64_t MutationManager::migrateExistingObjects(Heap &H) {
     if (S >= 0) {
       Stats.StateMatches++;
       swingObjectTib(O, C->SpecialTibs[static_cast<size_t>(S)]);
+      boostPendingSpecials(CP, static_cast<size_t>(S));
       ++Migrated;
     }
   });

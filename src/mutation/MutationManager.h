@@ -60,6 +60,11 @@ public:
   /// execution starts (the paper feeds the plan to the JVM at startup).
   void installPlan(const MutationPlan &Plan);
 
+  /// Wires in the compiler so part I can boost pending background compiles:
+  /// when an object swings into a hot state whose specialized code is still
+  /// in the pipeline, that compile jumps the queue (host-side latency only).
+  void setCompiler(OptCompiler *OC) { Compiler = OC; }
+
   const MutationPlan *plan() const { return Installed; }
 
   // --- Algorithm part I triggers (called from the interpreter hooks) ------
@@ -96,9 +101,13 @@ private:
   void refreshMethodPointers(const MutableClassPlan &CP, MethodInfo &M);
   void swingObjectTib(Object *O, TIB *To);
   void updateCodePointer(CompiledMethod *&SlotRef, CompiledMethod *To);
+  /// Jumps still-queued compiles of CP's specials for hot state S ahead of
+  /// the queue (an object is about to dispatch through them).
+  void boostPendingSpecials(const MutableClassPlan &CP, size_t S);
 
   Program &P;
   const MutationPlan *Installed = nullptr;
+  OptCompiler *Compiler = nullptr;
   MutationStats Stats;
 };
 

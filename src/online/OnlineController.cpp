@@ -9,7 +9,7 @@
 
 #include "support/Debug.h"
 
-#include <algorithm>
+#include <unordered_set>
 
 namespace dchm {
 
@@ -76,21 +76,18 @@ void OnlineMutationController::activate() {
   Plan = assembleMutationPlan(P, Profile, Mined, Cfg.Analysis);
 
   // Candidate fields that did not make the plan keep no patch code: clear
-  // their state-field marks (installPlan re-marks the plan's fields).
+  // their state-field marks (installPlan re-marks the plan's fields). One
+  // set of every planned field keeps this linear in plans + candidates.
+  std::unordered_set<FieldId> Planned;
+  for (const MutableClassPlan &CP : Plan.Classes) {
+    Planned.insert(CP.InstanceStateFields.begin(),
+                   CP.InstanceStateFields.end());
+    Planned.insert(CP.StaticStateFields.begin(), CP.StaticStateFields.end());
+  }
   for (const ClassStateFields &CSF : Candidates)
-    for (const StateFieldCandidate &Cand : CSF.Candidates) {
-      bool InPlan = false;
-      for (const MutableClassPlan &CP : Plan.Classes) {
-        InPlan |= std::find(CP.InstanceStateFields.begin(),
-                            CP.InstanceStateFields.end(),
-                            Cand.Field) != CP.InstanceStateFields.end();
-        InPlan |= std::find(CP.StaticStateFields.begin(),
-                            CP.StaticStateFields.end(),
-                            Cand.Field) != CP.StaticStateFields.end();
-      }
-      if (!InPlan)
+    for (const StateFieldCandidate &Cand : CSF.Candidates)
+      if (!Planned.count(Cand.Field))
         P.field(Cand.Field).IsStateField = false;
-    }
 
   if (Plan.empty()) {
     CurPhase = Phase::Inert;

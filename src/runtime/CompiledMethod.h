@@ -23,6 +23,7 @@
 #include "ir/Ids.h"
 #include "runtime/InlineCache.h"
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -31,12 +32,33 @@ namespace dchm {
 struct MethodInfo;
 
 /// One compiled version of a method.
+///
+/// A CompiledMethod may be created as a *pending shell*: installable in
+/// dispatch structures immediately (its modeled compile cycles are already
+/// charged), while the host-side optimization work that produces the body
+/// runs on a CompilePipeline worker. finalizeCode() publishes the body with
+/// a release store on ReadyFlag; the interpreter checks ready() (acquire) at
+/// its invocation safepoint and blocks until the body lands. A sync-created
+/// CompiledMethod is born ready, so the check is a single always-true load.
 class CompiledMethod {
 public:
   CompiledMethod(MethodInfo &M, IRFunction CodeIn, int OptLevel,
                  int StateIndex, uint64_t CompileCycles)
-      : Method(&M), Code(std::move(CodeIn)), OptLevel(OptLevel),
-        StateIndex(StateIndex), CompileCycles(CompileCycles) {
+      : CompiledMethod(M, OptLevel, StateIndex, CompileCycles) {
+    finalizeCode(std::move(CodeIn));
+  }
+
+  /// Pending-shell constructor: no body yet; finalizeCode() must follow.
+  CompiledMethod(MethodInfo &M, int OptLevel, int StateIndex,
+                 uint64_t CompileCycles)
+      : Method(&M), OptLevel(OptLevel), StateIndex(StateIndex),
+        CompileCycles(CompileCycles) {}
+
+  /// Publishes the finished body. Called exactly once, either inline from
+  /// the sync constructor or from a pipeline worker thread; every other
+  /// thread observes the body only through a ready() acquire.
+  void finalizeCode(IRFunction CodeIn) {
+    Code = std::move(CodeIn);
     // Modeled machine-code footprint: a fixed header plus bytes per emitted
     // instruction. The baseline-ish opt0 translation is less dense than
     // optimized code, mirroring Jikes' baseline-vs-opt code size ratio.
@@ -48,16 +70,27 @@ public:
     for (Instruction &I : Code.Insts)
       I.IcSlot = isCall(I.Op) ? NumSites++ : NoIcSlot;
     IcSites.resize(NumSites);
+    ReadyFlag.store(true, std::memory_order_release);
   }
+
+  /// True once the body is published. Pairs with finalizeCode()'s release.
+  bool ready() const { return ReadyFlag.load(std::memory_order_acquire); }
 
   MethodInfo &method() const { return *Method; }
   const IRFunction &code() const { return Code; }
   int optLevel() const { return OptLevel; }
   /// Hot state this code is specialized for, or -1 for the general version.
+  /// A cache-shared specialized version keeps the index it was first
+  /// compiled for; routing goes by Specials slot / TIB, never this field.
   int stateIndex() const { return StateIndex; }
   bool isSpecialized() const { return StateIndex >= 0; }
   size_t codeBytes() const { return CodeBytes; }
   uint64_t compileCycles() const { return CompileCycles; }
+
+  /// Number of Specials slots this version serves: 1, or more when the
+  /// specialization cache found hot states indistinguishable to the method.
+  unsigned shareCount() const { return ShareCount; }
+  void addShare() { ++ShareCount; }
 
   /// Invalidation marker (the replaced version stays allocated because
   /// active frames may still execute it, as in Jikes).
@@ -76,8 +109,10 @@ private:
   int OptLevel;
   int StateIndex;
   uint64_t CompileCycles;
-  size_t CodeBytes;
+  size_t CodeBytes = 0;
+  unsigned ShareCount = 1;
   bool Invalidated = false;
+  std::atomic<bool> ReadyFlag{false};
   std::vector<InlineCacheSite> IcSites; ///< one per call site in Code
 };
 
