@@ -52,6 +52,14 @@ VirtualMachine::VirtualMachine(Program &P, const VMOptions &Opts)
                                          Opts.InlineCaches, Opts.FrameArena);
   Interp->setInlineSampling(Opts.Adaptive.SampleInterval == 1);
   TheHeap.setRootProvider(this);
+  AuditOn = resolveToggle(Opts.AuditConsistency, "DCHM_AUDIT", false);
+}
+
+void VirtualMachine::setAuditHook(AuditHook *H) {
+  if (!AuditOn && H)
+    return;
+  Interp->setAuditHook(H);
+  Mutation.setAuditHook(H);
 }
 
 void VirtualMachine::setMutationPlan(const MutationPlan *Plan) {
@@ -138,6 +146,10 @@ void VirtualMachine::onStaticStateStore(FieldInfo &F) {
 }
 
 void VirtualMachine::onConstructorExit(Object *O, MethodInfo &Ctor) {
+  // Stamp before the mutation engine runs (and audits): once part I has
+  // classified the object, the strict TIB-matches-state invariant applies.
+  if (O)
+    O->CtorDone = true;
   if (MutationActive)
     Mutation.onConstructorExit(O, Ctor);
   if (Observer)

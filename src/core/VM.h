@@ -65,6 +65,12 @@ struct VMOptions {
   HostToggle AsyncCompile = HostToggle::Auto; ///< DCHM_ASYNC_COMPILE, def. on
   unsigned CompileThreads = 0; ///< 0 = DCHM_COMPILE_THREADS, default 2
   HostToggle SpecializationCache = HostToggle::Auto; ///< DCHM_SPEC_CACHE, def. on
+  /// Gates the runtime consistency auditor (testing/ConsistencyAuditor):
+  /// with the toggle off, setAuditHook() is a no-op, so harnesses can leave
+  /// the attachment code in place and flip only this option (or DCHM_AUDIT
+  /// in the environment; default off). Auditing never changes simulated
+  /// cycles, instruction counts, or output — it is host-side work only.
+  HostToggle AuditConsistency = HostToggle::Auto; ///< DCHM_AUDIT, def. off
 };
 
 /// Everything the experiment harness reads after (or during) a run.
@@ -120,6 +126,16 @@ public:
   /// candidate fields on its own Program instance).
   void setStateObserver(StateObserver *Obs) { Observer = Obs; }
 
+  /// Attaches a consistency-audit hook (normally a ConsistencyAuditor from
+  /// the testing library) to the interpreter's safepoint and the mutation
+  /// engine's transition points. Gated by VMOptions::AuditConsistency /
+  /// DCHM_AUDIT: when auditing is disabled this is a no-op, so callers can
+  /// attach unconditionally. Pass null to detach.
+  void setAuditHook(AuditHook *H);
+
+  /// True when VMOptions::AuditConsistency (or DCHM_AUDIT) resolved to on.
+  bool auditEnabled() const { return AuditOn; }
+
   /// Invokes a method (receiver first for instance methods).
   Value call(MethodId M, const std::vector<Value> &Args);
 
@@ -164,6 +180,7 @@ private:
   std::unique_ptr<Interpreter> Interp;
   StateObserver *Observer = nullptr;
   bool MutationActive = false;
+  bool AuditOn = false;
 };
 
 } // namespace dchm

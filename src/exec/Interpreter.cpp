@@ -120,6 +120,18 @@ void Interpreter::enumerateRoots(std::vector<Object *> &Roots) {
   }
 }
 
+void Interpreter::collectActiveCtorReceivers(std::vector<Object *> &Out) const {
+  for (size_t D = 0; D < Depth; ++D) {
+    const Frame &F = Frames[D];
+    if (!F.Fn || !F.M || !F.M->Flags.IsCtor || F.NumRegs == 0)
+      continue;
+    const Value *Regs =
+        UseArena ? RegArena.data() + F.RegBase : F.LegacyRegs.data();
+    if (Regs[0].R)
+      Out.push_back(Regs[0].R);
+  }
+}
+
 CompiledMethod *Interpreter::resolveInterface(TIB *T, MethodId IfaceMethod) {
   uint64_t Ignored = 0;
   return resolveInterfaceSite(T, IfaceMethod % NumImtSlots, IfaceMethod,

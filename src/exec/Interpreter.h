@@ -34,6 +34,7 @@
 #define DCHM_EXEC_INTERPRETER_H
 
 #include "exec/Callbacks.h"
+#include "runtime/AuditHook.h"
 #include "runtime/Heap.h"
 #include "runtime/Program.h"
 
@@ -87,6 +88,19 @@ public:
   /// hottest events.
   void setInlineSampling(bool On) { InlineSampling = On; }
 
+  /// Attaches a consistency-audit hook fired at the invocation-boundary
+  /// safepoint (right after the pending-compile check, where all dispatch
+  /// structures are quiescent). Null detaches. The hook must not modify
+  /// simulated state; see runtime/AuditHook.h.
+  void setAuditHook(AuditHook *H) { Audit = H; }
+
+  /// Appends the receiver of every constructor frame currently on the
+  /// stack. The consistency auditor exempts these objects from the strict
+  /// TIB-matches-state invariant: algorithm part I defers classification of
+  /// an object to the exit of its constructors, so a half-constructed
+  /// object's TIB legitimately lags its fields.
+  void collectActiveCtorReceivers(std::vector<Object *> &Out) const;
+
   /// Per-method cycle attribution for the offline hot-method profiler.
   void setProfiling(bool On);
   const std::vector<uint64_t> &methodCycles() const { return MethodCycles; }
@@ -114,6 +128,7 @@ private:
   /// the dispatch microbenchmarks.
   struct Frame {
     const IRFunction *Fn = nullptr;
+    const MethodInfo *M = nullptr;
     size_t RegBase = 0;
     uint32_t NumRegs = 0;
     std::vector<Value> LegacyRegs;
@@ -152,6 +167,7 @@ private:
   /// pointers are re-derived after any nested invocation (see executeLoop).
   std::vector<Value> RegArena;
   size_t ArenaTop = 0;
+  AuditHook *Audit = nullptr;
   bool UseThreaded = false;
   bool UseICs = true;
   bool UseArena = true;

@@ -114,6 +114,8 @@ int MutationManager::anyStaticMatch(const MutableClassPlan &CP) const {
 }
 
 void MutationManager::swingObjectTib(Object *O, TIB *To) {
+  if (Debug.SkipTibSwing)
+    return; // injected fault: leave the stale TIB for the auditor to find
   if (O->Tib == To)
     return;
   O->Tib = To;
@@ -123,6 +125,8 @@ void MutationManager::swingObjectTib(Object *O, TIB *To) {
 
 void MutationManager::updateCodePointer(CompiledMethod *&SlotRef,
                                         CompiledMethod *To) {
+  if (Debug.SkipCodePointerUpdate)
+    return; // injected fault: leave the stale code pointer in place
   if (SlotRef == To)
     return;
   SlotRef = To;
@@ -168,6 +172,7 @@ void MutationManager::onInstanceStateStore(Object *O, FieldInfo &F) {
     Stats.StateMisses++;
     swingObjectTib(O, C->ClassTib);
   }
+  noteTransition("part I: instance state store");
 }
 
 void MutationManager::onConstructorExit(Object *O, MethodInfo &Ctor) {
@@ -191,6 +196,7 @@ void MutationManager::onConstructorExit(Object *O, MethodInfo &Ctor) {
     Stats.StateMisses++;
     swingObjectTib(O, C->ClassTib);
   }
+  noteTransition("part I: constructor exit");
 }
 
 uint64_t MutationManager::migrateExistingObjects(Heap &H) {
@@ -213,6 +219,7 @@ uint64_t MutationManager::migrateExistingObjects(Heap &H) {
       ++Migrated;
     }
   });
+  noteTransition("online: object migration");
   return Migrated;
 }
 
@@ -231,6 +238,8 @@ void MutationManager::refreshMethodPointers(const MutableClassPlan &CP,
             ? M.Specials[static_cast<size_t>(S)]
             : M.General;
     CompiledMethod *Cur = P.staticEntry(M.Id);
+    if (Debug.SkipCodePointerUpdate)
+      return; // injected fault: leave the stale JTOC entry in place
     if (Cur != Want) {
       P.setStaticEntry(M.Id, Want);
       Stats.CodePointerUpdates++;
@@ -282,6 +291,7 @@ void MutationManager::onStaticStateStore(FieldInfo &F) {
     for (MethodId MId : CP.MutableMethods)
       refreshMethodPointers(CP, P.method(MId));
   }
+  noteTransition("part I: static state store");
 }
 
 void MutationManager::onMutableMethodRecompiled(MethodInfo &M) {
@@ -293,6 +303,7 @@ void MutationManager::onMutableMethodRecompiled(MethodInfo &M) {
   // general compiled code instead of the special compiled code is
   // propagated to the sub classes"). Route the special code per Figure 5.
   refreshMethodPointers(*CP, M);
+  noteTransition("part II: mutable method recompiled");
 }
 
 } // namespace dchm

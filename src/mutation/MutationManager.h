@@ -34,6 +34,7 @@
 
 #include "adaptive/AdaptiveSystem.h"
 #include "mutation/MutationPlan.h"
+#include "runtime/AuditHook.h"
 #include "runtime/Heap.h"
 #include "runtime/Object.h"
 #include "runtime/Program.h"
@@ -48,6 +49,23 @@ struct MutationStats {
   uint64_t StateMatches = 0;       ///< part I checks that matched a hot state
   uint64_t StateMisses = 0;        ///< part I checks that matched nothing
   uint64_t ExtraCycles = 0;        ///< simulated cost of all of the above
+};
+
+/// Fault-injection switches for the consistency auditor's self-test: each
+/// one silently skips a step of the distributed mutation algorithm,
+/// breaking an invariant the auditor must then catch. Never set outside
+/// tests and the fuzz harness.
+struct MutationDebugFlags {
+  /// Part I: skip object TIB re-points (objects keep stale TIBs while
+  /// their state fields change). Dispatch stays *correct* — general code
+  /// computes the same results — which is exactly why only the auditor,
+  /// not a differential oracle, can catch it.
+  bool SkipTibSwing = false;
+  /// Part I/II: skip TIB/JTOC code-pointer re-points on static state
+  /// changes and recompilations (can leave specialized code live for a
+  /// state it was not compiled for — a correctness bug, not just an
+  /// invariant break).
+  bool SkipCodePointerUpdate = false;
 };
 
 /// Runtime engine for dynamic class hierarchy mutation.
@@ -66,6 +84,15 @@ public:
   void setCompiler(OptCompiler *OC) { Compiler = OC; }
 
   const MutationPlan *plan() const { return Installed; }
+
+  /// Attaches a consistency-audit hook notified after every part I/II
+  /// transition (null detaches). See runtime/AuditHook.h.
+  void setAuditHook(AuditHook *H) { Audit = H; }
+
+  /// Fault-injection switches (see MutationDebugFlags). Mutable on purpose:
+  /// the fuzz harness flips them mid-run to prove the auditor catches the
+  /// resulting invariant breaks.
+  MutationDebugFlags &debugFlags() { return Debug; }
 
   // --- Algorithm part I triggers (called from the interpreter hooks) ------
   void onInstanceStateStore(Object *O, FieldInfo &F);
@@ -105,9 +132,17 @@ private:
   /// the queue (an object is about to dispatch through them).
   void boostPendingSpecials(const MutableClassPlan &CP, size_t S);
 
+  /// Notifies the audit hook, if any, that one transition finished.
+  void noteTransition(const char *Where) {
+    if (Audit)
+      Audit->onMutationTransition(Where);
+  }
+
   Program &P;
   const MutationPlan *Installed = nullptr;
   OptCompiler *Compiler = nullptr;
+  AuditHook *Audit = nullptr;
+  MutationDebugFlags Debug;
   MutationStats Stats;
 };
 

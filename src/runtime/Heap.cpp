@@ -90,6 +90,8 @@ void Heap::collect() {
   std::vector<Object *> Work;
   std::vector<Object *> RootSet;
   Roots->enumerateRoots(RootSet);
+  for (RootProvider *Extra : ExtraRoots)
+    Extra->enumerateRoots(RootSet);
   for (Object *O : RootSet)
     mark(O, Work);
 

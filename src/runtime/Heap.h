@@ -61,6 +61,19 @@ public:
   /// Must be set before the first allocation that can exceed the budget.
   void setRootProvider(RootProvider *P) { Roots = P; }
 
+  /// Registers an additional root provider consulted by every collection,
+  /// on top of the primary one. This is the supported way for host code
+  /// (tests, tools, embedders) to pin objects it holds in C++ storage the
+  /// VM cannot see; see LocalRootScope for the RAII wrapper.
+  void addRootProvider(RootProvider *P) { ExtraRoots.push_back(P); }
+  void removeRootProvider(RootProvider *P) {
+    for (size_t I = ExtraRoots.size(); I > 0; --I)
+      if (ExtraRoots[I - 1] == P) {
+        ExtraRoots.erase(ExtraRoots.begin() + static_cast<long>(I - 1));
+        return;
+      }
+  }
+
   /// Allocates an instance of C with zeroed fields and the given TIB
   /// (normally C's class TIB; a constructor-exit mutation may re-point it).
   Object *allocateInstance(const ClassInfo &C, TIB *Tib);
@@ -88,8 +101,35 @@ private:
 
   size_t Budget;
   RootProvider *Roots = nullptr;
+  std::vector<RootProvider *> ExtraRoots;
   Object *AllObjects = nullptr;
   HeapStats Stats;
+};
+
+/// RAII root registration for objects held in host (C++) storage: anything
+/// add()ed stays alive across collections for the scope's lifetime. This
+/// replaces the old test idiom of sizing the heap large enough that no GC
+/// could run while a test-local vector held unrooted pointers.
+class LocalRootScope : public RootProvider {
+public:
+  explicit LocalRootScope(Heap &H) : H(H) { H.addRootProvider(this); }
+  ~LocalRootScope() override { H.removeRootProvider(this); }
+  LocalRootScope(const LocalRootScope &) = delete;
+  LocalRootScope &operator=(const LocalRootScope &) = delete;
+
+  void add(Object *O) { Pinned.push_back(O); }
+  Object *operator[](size_t I) const { return Pinned[I]; }
+  size_t size() const { return Pinned.size(); }
+  bool empty() const { return Pinned.empty(); }
+  const std::vector<Object *> &objects() const { return Pinned; }
+
+  void enumerateRoots(std::vector<Object *> &Roots) override {
+    Roots.insert(Roots.end(), Pinned.begin(), Pinned.end());
+  }
+
+private:
+  Heap &H;
+  std::vector<Object *> Pinned;
 };
 
 } // namespace dchm

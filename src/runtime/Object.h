@@ -36,6 +36,12 @@ struct Object {
   uint32_t NumSlots = 0;
   uint8_t Mark = 0;
   bool IsArray = false;
+  /// Set by the VM when the outermost constructor for this object exits
+  /// (the point where algorithm part I first classifies it). The
+  /// consistency auditor uses it to tell "not yet classified" apart from
+  /// "must match its state": before the ctor-exit action an object
+  /// legitimately sits on its class TIB whatever its fields hold.
+  bool CtorDone = false;
   /// Element type for arrays (drives GC reference scanning).
   Type ElemTy = Type::I64;
 

@@ -18,6 +18,7 @@
 #include "TestUtil.h"
 #include "compiler/OptCompiler.h"
 #include "core/VM.h"
+#include "testing/ConsistencyAuditor.h"
 
 #include <gtest/gtest.h>
 
@@ -240,8 +241,11 @@ WorkloadResult runCounterWorkload(HostToggle Async, unsigned Threads,
   Opts.AsyncCompile = Async;
   Opts.CompileThreads = Threads;
   Opts.SpecializationCache = Cache;
+  Opts.AuditConsistency = HostToggle::On;
   VirtualMachine VM(*Fx.P, Opts);
   VM.setMutationPlan(&Fx.Plan);
+  ConsistencyAuditor Auditor(VM, /*Stride=*/16);
+  VM.setAuditHook(&Auditor);
 
   Object *A = Fx.makeCounter(VM, 0);
   Object *B = Fx.makeCounter(VM, 1);
@@ -256,6 +260,9 @@ WorkloadResult runCounterWorkload(HostToggle Async, unsigned Threads,
   VM.call(Fx.Report, {valueR(B)});
   R.Sum += VM.call(Fx.Get, {valueR(A)}).I;
   R.Sum += VM.call(Fx.Get, {valueR(B)}).I;
+  Auditor.auditNow("end of workload");
+  EXPECT_GT(Auditor.auditsRun(), 0u);
+  EXPECT_TRUE(Auditor.clean()) << Auditor.report();
   R.Metrics = VM.metrics();
   return R;
 }

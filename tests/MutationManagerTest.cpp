@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+#include "testing/ConsistencyAuditor.h"
 
 #include <gtest/gtest.h>
 
@@ -367,8 +368,11 @@ StressOutcome runInterleaved(const FastPathConfig &C, bool Mut) {
   Opts.Dispatch = C.DM;
   Opts.InlineCaches = C.ICs;
   Opts.FrameArena = C.Arena;
+  Opts.AuditConsistency = HostToggle::On;
   VirtualMachine VM(*Fx.P, Opts);
   VM.setMutationPlan(&Fx.Plan);
+  ConsistencyAuditor Auditor(VM, /*Stride=*/16);
+  VM.setAuditHook(&Auditor);
   Object *O = Fx.makeCounter(VM, 0);
   Object *Q = Fx.makeCounter(VM, 1);
   for (int Round = 0; Round < 30; ++Round) {
@@ -383,6 +387,9 @@ StressOutcome runInterleaved(const FastPathConfig &C, bool Mut) {
     VM.call(Fx.Report, {valueR(O)});
     VM.call(Fx.Report, {valueR(Q)});
   }
+  Auditor.auditNow("end of stress run");
+  EXPECT_GT(Auditor.auditsRun(), 0u);
+  EXPECT_TRUE(Auditor.clean()) << Auditor.report();
   StressOutcome R;
   R.Hash = VM.interp().outputHash();
   R.Insts = VM.interp().stats().Insts;

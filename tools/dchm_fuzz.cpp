@@ -1,0 +1,326 @@
+//===-- tools/dchm_fuzz.cpp - Differential mutation fuzzer --------------------===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+// Differential fuzzer over generated MVM programs (testing/ProgramGen):
+// every program runs through a matrix of host configurations (dispatch
+// strategy x background-compile workers x specialization cache), with
+// mutation off and on, asserting
+//
+//  - bit-identical output and simulated cycle counters across every host
+//    configuration within a mutation group (the PR 2 determinism contract),
+//  - identical program output with mutation off and on (the paper's
+//    transparency guarantee), and
+//  - zero consistency-auditor violations in every run.
+//
+// Failures serialize the offending program to fuzz-fail-<seed>.mvm, shrink
+// it with the greedy delta-minimizer, and print a dchm_run replay line.
+// Injection modes (--inject-skip-tib / --inject-skip-code) flip one
+// MutationDebugFlags fault on and require the auditor to catch the break,
+// replaying from the serialized artifact to prove reproduction.
+//
+//   dchm_fuzz [--n=<programs>] [--seed=<base>] [--stride=<k>]
+//             [--full-matrix] [--inject-skip-tib] [--inject-skip-code]
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "testing/ConsistencyAuditor.h"
+#include "testing/ProgramGen.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dchm;
+
+namespace {
+
+struct HostConfig {
+  const char *Name;
+  DispatchMode Dispatch;
+  bool Async = false;
+  unsigned Threads = 1;
+  bool Cache = true;
+  bool InlineCaches = true;
+  bool FrameArena = true;
+};
+
+const HostConfig SmokeMatrix[] = {
+    {"switch/sync/cache-off", DispatchMode::Switch, false, 1, false, true,
+     true},
+    {"threaded/sync/cache-on", DispatchMode::Threaded, false, 1, true, false,
+     false},
+    {"switch/async1/cache-on", DispatchMode::Switch, true, 1, true, true,
+     false},
+    {"threaded/async2/cache-off", DispatchMode::Threaded, true, 2, false,
+     false, true},
+    {"threaded/async4/cache-on", DispatchMode::Threaded, true, 4, true, true,
+     true},
+};
+
+std::vector<HostConfig> fullMatrix() {
+  std::vector<HostConfig> M;
+  static std::vector<std::string> Names; // keep c_str()s alive
+  Names.clear();
+  Names.reserve(64);
+  for (DispatchMode D : {DispatchMode::Switch, DispatchMode::Threaded})
+    for (unsigned Workers : {0u, 1u, 2u, 4u})
+      for (bool Cache : {false, true}) {
+        Names.push_back(std::string(D == DispatchMode::Switch ? "switch"
+                                                              : "threaded") +
+                        "/async" + std::to_string(Workers) +
+                        (Cache ? "/cache-on" : "/cache-off"));
+        M.push_back({Names.back().c_str(), D, Workers != 0,
+                     Workers ? Workers : 1, Cache, true, true});
+      }
+  return M;
+}
+
+struct RunOutcome {
+  bool Ok = false;
+  std::string Error;
+  std::string Output;
+  int64_t Result = 0;
+  RunMetrics M;
+  uint64_t Violations = 0;
+  std::string AuditReport;
+};
+
+struct InjectFlags {
+  bool SkipTibSwing = false;
+  bool SkipCodePointerUpdate = false;
+  bool any() const { return SkipTibSwing || SkipCodePointerUpdate; }
+};
+
+RunOutcome runOne(const std::string &Source, const HostConfig &HC,
+                  bool Mutate, uint64_t Stride, InjectFlags Inject) {
+  RunOutcome Out;
+  AssemblyResult R = assembleProgram(Source);
+  if (!R.ok()) {
+    Out.Error = "assembly failed: " + R.Error;
+    return Out;
+  }
+  Program &P = *R.P;
+  GenPlanInfo Gen;
+  std::string Err;
+  if (!ProgramGen::parsePlanDirectives(Source, P, Gen, Err)) {
+    Out.Error = "plan directives failed: " + Err;
+    return Out;
+  }
+  ClassId MainCls = P.findClass("Main");
+  MethodId Entry =
+      MainCls != NoClassId ? P.findMethod(MainCls, "main") : NoMethodId;
+  if (Entry == NoMethodId) {
+    Out.Error = "no Main.main";
+    return Out;
+  }
+
+  VMOptions Opts;
+  Opts.EnableMutation = Mutate && !Gen.Plan.empty();
+  if (Gen.Opt1)
+    Opts.Adaptive.Opt1Threshold = Gen.Opt1;
+  if (Gen.Opt2)
+    Opts.Adaptive.Opt2Threshold = Gen.Opt2;
+  Opts.Dispatch = HC.Dispatch;
+  Opts.AsyncCompile = HC.Async ? HostToggle::On : HostToggle::Off;
+  Opts.CompileThreads = HC.Threads;
+  Opts.SpecializationCache = HC.Cache ? HostToggle::On : HostToggle::Off;
+  Opts.InlineCaches = HC.InlineCaches;
+  Opts.FrameArena = HC.FrameArena;
+  Opts.AuditConsistency = HostToggle::On;
+
+  VirtualMachine VM(P, Opts);
+  if (Opts.EnableMutation)
+    VM.setMutationPlan(&Gen.Plan);
+  VM.mutation().debugFlags().SkipTibSwing = Inject.SkipTibSwing;
+  VM.mutation().debugFlags().SkipCodePointerUpdate =
+      Inject.SkipCodePointerUpdate;
+  ConsistencyAuditor Auditor(VM, Stride);
+  VM.setAuditHook(&Auditor);
+
+  Value Result = VM.call(Entry, {});
+  Auditor.auditNow("end of run"); // final pass after the last transition
+  Out.M = VM.metrics();
+  Out.Output = VM.interp().output();
+  Out.Result = Result.I;
+  Out.Violations = Auditor.violationCount();
+  Out.AuditReport = Auditor.report();
+  Out.Ok = true;
+  return Out;
+}
+
+/// The simulated-state fingerprint that must be bit-identical across host
+/// configurations (dispatch, workers, caches change wall time only).
+std::string fingerprint(const RunOutcome &O) {
+  std::ostringstream S;
+  S << "result=" << O.Result << " hash=" << O.M.OutputHash
+    << " insts=" << O.M.Insts << " invocations=" << O.M.Invocations
+    << " exec=" << O.M.ExecCycles << " compile=" << O.M.CompileCycles
+    << " special=" << O.M.SpecialCompileCycles << " gc=" << O.M.GcCycles
+    << " gcN=" << O.M.GcCount << " mut=" << O.M.MutationCycles
+    << " total=" << O.M.TotalCycles
+    << " swings=" << O.M.Mutation.ObjectTibSwings
+    << " repoints=" << O.M.Mutation.CodePointerUpdates
+    << " requests=" << O.M.SpecialCompileRequests;
+  return S.str();
+}
+
+void writeArtifact(const std::string &Path, const std::string &Source) {
+  std::ofstream Out(Path);
+  Out << Source;
+}
+
+int reportFailure(ProgramGen &G, uint64_t Seed, const std::string &Source,
+                  const std::string &Why,
+                  const std::function<bool(const std::string &)> &StillFails) {
+  std::string Path = "fuzz-fail-" + std::to_string(Seed) + ".mvm";
+  writeArtifact(Path, Source);
+  std::fprintf(stderr, "FAIL seed=%llu: %s\n  artifact: %s\n",
+               static_cast<unsigned long long>(Seed), Why.c_str(),
+               Path.c_str());
+  std::string Min = G.minimize(StillFails);
+  std::string MinPath = "fuzz-fail-" + std::to_string(Seed) + ".min.mvm";
+  writeArtifact(MinPath, Min);
+  std::fprintf(stderr,
+               "  minimized: %s\n  replay: dchm_run exec %s "
+               "--entry=Main.main --mutate --audit\n",
+               MinPath.c_str(), MinPath.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t N = 50, SeedBase = 1, Stride = 4;
+  bool FullMatrix = false;
+  InjectFlags Inject;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--n=", 0) == 0)
+      N = std::stoull(A.substr(4));
+    else if (A.rfind("--seed=", 0) == 0)
+      SeedBase = std::stoull(A.substr(7));
+    else if (A.rfind("--stride=", 0) == 0)
+      Stride = std::stoull(A.substr(9));
+    else if (A == "--full-matrix")
+      FullMatrix = true;
+    else if (A == "--inject-skip-tib")
+      Inject.SkipTibSwing = true;
+    else if (A == "--inject-skip-code")
+      Inject.SkipCodePointerUpdate = true;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", A.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<HostConfig> Matrix;
+  if (FullMatrix)
+    Matrix = fullMatrix();
+  else
+    Matrix.assign(std::begin(SmokeMatrix), std::end(SmokeMatrix));
+
+  uint64_t Runs = 0;
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t Seed = SeedBase + I;
+    ProgramGen G(Seed);
+    std::string Source = G.generate();
+
+    if (Inject.any()) {
+      // Fault injection needs part I swings to actually happen, so skip
+      // the static-only flavor for family 0 (no object ever swings there).
+      if (Inject.SkipTibSwing && G.model().Families[0].StaticOnlyPlan)
+        continue;
+      // Prove the auditor catches the break *from the serialized artifact*:
+      // write the program out, read it back, and run that byte stream.
+      std::string Path = "fuzz-inject-" + std::to_string(Seed) + ".mvm";
+      writeArtifact(Path, Source);
+      std::ifstream In(Path);
+      std::stringstream Ss;
+      Ss << In.rdbuf();
+      RunOutcome Broken = runOne(Ss.str(), SmokeMatrix[1], /*Mutate=*/true,
+                                 Stride, Inject);
+      ++Runs;
+      if (!Broken.Ok) {
+        std::fprintf(stderr, "FAIL seed=%llu: %s\n",
+                     static_cast<unsigned long long>(Seed),
+                     Broken.Error.c_str());
+        return 1;
+      }
+      if (Broken.Violations == 0) {
+        std::fprintf(stderr,
+                     "FAIL seed=%llu: injected fault not caught by the "
+                     "auditor (artifact: %s)\n",
+                     static_cast<unsigned long long>(Seed), Path.c_str());
+        return 1;
+      }
+      std::remove(Path.c_str());
+      continue;
+    }
+
+    std::vector<RunOutcome> Base(2); // [0] = mutation off, [1] = on
+    for (int Mut = 0; Mut < 2; ++Mut) {
+      for (size_t C = 0; C < Matrix.size(); ++C) {
+        RunOutcome O = runOne(Source, Matrix[C], Mut == 1, Stride, {});
+        ++Runs;
+        std::string Why;
+        if (!O.Ok)
+          Why = O.Error;
+        else if (O.Violations)
+          Why = "auditor violations (" + std::string(Matrix[C].Name) +
+                ", mutation " + (Mut ? "on" : "off") + "):\n" + O.AuditReport;
+        else if (C == 0)
+          Base[Mut] = O;
+        else if (fingerprint(O) != fingerprint(Base[Mut]) ||
+                 O.Output != Base[Mut].Output)
+          Why = "divergence vs " + std::string(Matrix[0].Name) +
+                " (mutation " + (Mut ? "on" : "off") + ", " +
+                Matrix[C].Name + "):\n  base: " + fingerprint(Base[Mut]) +
+                "\n  this: " + fingerprint(O);
+        if (!Why.empty()) {
+          const HostConfig &HC = Matrix[C];
+          bool M1 = Mut == 1;
+          return reportFailure(
+              G, Seed, Source, Why, [&](const std::string &S) {
+                RunOutcome A = runOne(S, Matrix[0], M1, Stride, {});
+                RunOutcome B = runOne(S, HC, M1, Stride, {});
+                if (!A.Ok || !B.Ok)
+                  return true; // still broken (now at assembly/setup)
+                if (A.Violations || B.Violations)
+                  return true;
+                return fingerprint(A) != fingerprint(B) ||
+                       A.Output != B.Output;
+              });
+        }
+      }
+    }
+    // Transparency: mutation must not change what the program computes.
+    if (Base[0].Ok && Base[1].Ok &&
+        (Base[0].Output != Base[1].Output ||
+         Base[0].Result != Base[1].Result)) {
+      return reportFailure(
+          G, Seed, Source,
+          "mutation changed program output:\n  off: " + Base[0].Output +
+              "\n  on:  " + Base[1].Output,
+          [&](const std::string &S) {
+            RunOutcome A = runOne(S, Matrix[0], false, Stride, {});
+            RunOutcome B = runOne(S, Matrix[0], true, Stride, {});
+            if (!A.Ok || !B.Ok)
+              return true;
+            return A.Output != B.Output || A.Result != B.Result;
+          });
+    }
+  }
+  std::printf("fuzz: %llu programs, %llu runs, %zu-config matrix%s: all "
+              "consistent\n",
+              static_cast<unsigned long long>(N),
+              static_cast<unsigned long long>(Runs), Matrix.size(),
+              Inject.any() ? " (fault injection)" : "");
+  return 0;
+}

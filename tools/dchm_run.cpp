@@ -21,6 +21,8 @@
 #include "compiler/Specializer.h"
 #include "online/OnlineController.h"
 #include "support/Timer.h"
+#include "testing/ConsistencyAuditor.h"
+#include "testing/ProgramGen.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
@@ -214,9 +216,13 @@ int cmdDisasm(Workload &W, const std::string &Spec, int State) {
 
 } // namespace
 
-/// exec: assemble a .mvm file and invoke a static entry method.
+/// exec: assemble a .mvm file and invoke a static entry method. With
+/// --mutate the file's #! plan directives (testing/ProgramGen) are parsed
+/// and installed; with --audit a ConsistencyAuditor rides along and the run
+/// fails on any invariant violation — together these replay fuzzer
+/// artifacts byte-for-byte (docs/fuzzing.md).
 int cmdExec(const std::string &Path, const std::string &Entry,
-            const std::vector<int64_t> &MainArgs) {
+            const std::vector<int64_t> &MainArgs, bool Mutate, bool AuditOn) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "cannot open %s\n", Path.c_str());
@@ -255,7 +261,28 @@ int cmdExec(const std::string &Path, const std::string &Entry,
                  P.method(M).ParamTys.size(), Args.size());
     return 1;
   }
-  VirtualMachine VM(P, {});
+  GenPlanInfo Gen;
+  if (Mutate) {
+    std::string Err;
+    if (!ProgramGen::parsePlanDirectives(Ss.str(), P, Gen, Err)) {
+      std::fprintf(stderr, "%s: %s\n", Path.c_str(), Err.c_str());
+      return 1;
+    }
+  }
+  VMOptions Opts;
+  Opts.EnableMutation = Mutate && !Gen.Plan.empty();
+  if (Gen.Opt1)
+    Opts.Adaptive.Opt1Threshold = Gen.Opt1;
+  if (Gen.Opt2)
+    Opts.Adaptive.Opt2Threshold = Gen.Opt2;
+  if (AuditOn)
+    Opts.AuditConsistency = HostToggle::On;
+  VirtualMachine VM(P, Opts);
+  if (Opts.EnableMutation)
+    VM.setMutationPlan(&Gen.Plan);
+  ConsistencyAuditor Auditor(VM);
+  if (AuditOn)
+    VM.setAuditHook(&Auditor);
   Value Result = VM.call(M, Args);
   if (!VM.interp().output().empty())
     std::printf("output: %s\n", VM.interp().output().c_str());
@@ -265,6 +292,11 @@ int cmdExec(const std::string &Path, const std::string &Entry,
     std::printf("result: %g\n", Result.F);
   std::printf("cycles: %llu\n",
               static_cast<unsigned long long>(VM.totalCycles()));
+  if (AuditOn) {
+    std::printf("%s", Auditor.report().c_str());
+    if (!Auditor.clean())
+      return 1;
+  }
   return 0;
 }
 
@@ -276,7 +308,8 @@ int main(int Argc, char **Argv) {
                  "                [--scale=<f>] [--heap-mb=<n>] [--accelerated]\n"
                  "       dchm_run plan <workload>\n"
                  "       dchm_run disasm <workload> <Class.method> [--state=<k>]\n"
-                 "       dchm_run exec <file.mvm> [--entry=Class.method] [int args...]\n");
+                 "       dchm_run exec <file.mvm> [--entry=Class.method]\n"
+                 "                [--mutate] [--audit] [int args...]\n");
     return 1;
   }
   std::string Cmd = Argv[1];
@@ -289,14 +322,19 @@ int main(int Argc, char **Argv) {
     }
     std::string Entry = "main";
     std::vector<int64_t> MainArgs;
+    bool Mutate = false, AuditOn = false;
     for (int I = 3; I < Argc; ++I) {
       std::string A = Argv[I];
       if (A.rfind("--entry=", 0) == 0)
         Entry = A.substr(8);
+      else if (A == "--mutate")
+        Mutate = true;
+      else if (A == "--audit")
+        AuditOn = true;
       else
         MainArgs.push_back(std::stoll(A));
     }
-    return cmdExec(Argv[2], Entry, MainArgs);
+    return cmdExec(Argv[2], Entry, MainArgs, Mutate, AuditOn);
   }
   if (Argc < 3) {
     std::fprintf(stderr, "%s needs a workload name (try 'list')\n",
