@@ -45,6 +45,8 @@ int main() {
       return "value-profiling";
     case OnlineMutationController::Phase::Active:
       return "ACTIVE";
+    case OnlineMutationController::Phase::Degrading:
+      return "DEGRADING";
     case OnlineMutationController::Phase::Inert:
       return "inert";
     }

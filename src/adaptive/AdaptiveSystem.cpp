@@ -46,7 +46,8 @@ void AdaptiveSystem::refreshMutableMethods() {
   for (const MutableClassPlan &CP : Plan->Classes)
     for (MethodId MId : CP.MutableMethods) {
       MethodInfo &M = P.method(MId);
-      if (M.IsMutable && M.CurOptLevel >= 2 && M.Specials.empty())
+      if (M.IsMutable && M.CurOptLevel >= 2 && M.Specials.empty() &&
+          !OC.pipeline().quarantined(M))
         recompile(M, 2);
     }
 }
@@ -54,10 +55,15 @@ void AdaptiveSystem::refreshMutableMethods() {
 void AdaptiveSystem::maybePromote(MethodInfo &M) {
   if (InRecompile)
     return; // no nested recompilation from compile-time sampling
-  if (M.CurOptLevel == 0 && M.SampleCount >= Cfg.Opt1Threshold)
-    recompile(M, 1);
-  else if (M.CurOptLevel == 1 && M.SampleCount >= Cfg.Opt2Threshold)
-    recompile(M, 2);
+  bool WantOpt1 = M.CurOptLevel == 0 && M.SampleCount >= Cfg.Opt1Threshold;
+  bool WantOpt2 = M.CurOptLevel == 1 && M.SampleCount >= Cfg.Opt2Threshold;
+  if (!WantOpt1 && !WantOpt2)
+    return;
+  // A quarantined method exhausted its compile attempts; it stays on its
+  // current general code permanently instead of re-entering the pipeline.
+  if (OC.pipeline().quarantined(M))
+    return;
+  recompile(M, WantOpt1 ? 1 : 2);
 }
 
 void AdaptiveSystem::recompile(MethodInfo &M, int Level) {
@@ -78,8 +84,16 @@ void AdaptiveSystem::recompile(MethodInfo &M, int Level) {
       if (OldSpecial)
         OldSpecial->invalidate();
     M.Specials.assign(CP->HotStates.size(), nullptr);
-    for (size_t S = 0; S < CP->HotStates.size(); ++S)
+    const ClassInfo &Owner = P.cls(CP->Cls);
+    for (size_t S = 0; S < CP->HotStates.size(); ++S) {
+      // A hot state evicted under the code budget has no special TIB left
+      // to dispatch through; compiling its special would only re-grow the
+      // footprint the eviction just reclaimed.
+      if (CP->dependsOnInstanceFields() && S < Owner.SpecialTibs.size() &&
+          !Owner.SpecialTibs[S])
+        continue;
       M.Specials[S] = OC.compileSpecial(M, Level, *CP, S);
+    }
     if (Listener)
       Listener->onMutableMethodRecompiled(M);
   }

@@ -202,7 +202,10 @@ public:
       R.Error = Err;
       return R;
     }
-    P->link();
+    if (VMError E = P->tryLink()) {
+      R.Error = "link error: " + E.message();
+      return R;
+    }
     R.P = std::move(P);
     return R;
   }

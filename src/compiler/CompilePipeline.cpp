@@ -52,13 +52,62 @@ CompilePipeline::Config CompilePipeline::configFromEnv(Config Defaults) {
     if (N >= 1 && N <= 64)
       C.Threads = static_cast<unsigned>(N);
   }
+  if (const char *E = std::getenv("DCHM_COMPILE_FAULT_EVERY")) {
+    long N = std::strtol(E, nullptr, 10);
+    if (N >= 0)
+      C.FaultEvery = static_cast<unsigned>(N);
+  }
+  if (const char *E = std::getenv("DCHM_COMPILE_FAULT_PERSIST")) {
+    C.FaultPersist = !(std::strcmp(E, "OFF") == 0 ||
+                       std::strcmp(E, "off") == 0 ||
+                       std::strcmp(E, "0") == 0 ||
+                       std::strcmp(E, "false") == 0);
+  }
+  if (const char *E = std::getenv("DCHM_COMPILE_MAX_ATTEMPTS")) {
+    long N = std::strtol(E, nullptr, 10);
+    if (N >= 1 && N <= 100)
+      C.MaxAttempts = static_cast<unsigned>(N);
+  }
+  if (const char *E = std::getenv("DCHM_COMPILE_DEADLINE_MS")) {
+    long N = std::strtol(E, nullptr, 10);
+    if (N >= 0)
+      C.DeadlineMs = static_cast<unsigned>(N);
+  }
   return C;
 }
 
-void CompilePipeline::runJob(Job &J) {
+void CompilePipeline::setFaultHook(FaultHook H) {
+  std::lock_guard<std::mutex> L(Mu);
+  Hook = std::move(H);
+}
+
+bool CompilePipeline::quarantined(const MethodInfo &M) const {
+  if (QuarantineCount.load(std::memory_order_acquire) == 0)
+    return false;
+  std::lock_guard<std::mutex> L(Mu);
+  return Quarantined.count(&M) != 0;
+}
+
+bool CompilePipeline::attemptJob(Job &J, const FaultHook &H) const {
+  if (H && H(J.CM->method(), J.Level, J.Attempts))
+    return false;
+  // Deterministic count-based injection: job k fails when k is a multiple
+  // of FaultEvery. Transient faults heal on the last allowed attempt so the
+  // retry path is exercised without quarantining; persistent faults drive
+  // the job all the way to quarantine.
+  if (Cfg.FaultEvery && J.FaultId % Cfg.FaultEvery == 0 &&
+      (Cfg.FaultPersist || J.Attempts + 1 < Cfg.MaxAttempts))
+    return false;
+  auto Start = std::chrono::steady_clock::now();
+  IRFunction Body = J.Body; // keep the original for a possible retry
   if (J.Level >= 1)
-    runOptPipeline(J.Body);
-  J.CM->finalizeCode(std::move(J.Body));
+    runOptPipeline(Body);
+  if (Cfg.DeadlineMs &&
+      std::chrono::steady_clock::now() - Start >
+          std::chrono::milliseconds(Cfg.DeadlineMs))
+    return false;
+  J.CM->finalizeCode(std::move(Body));
+  return true;
 }
 
 void CompilePipeline::enqueue(CompiledMethod *CM, IRFunction Body, int Level,
@@ -71,12 +120,17 @@ void CompilePipeline::enqueue(CompiledMethod *CM, IRFunction Body, int Level,
   J.Pr = Pr;
   // Level-0 code is a direct translation — there is no optimization work to
   // offload, and lazy first compiles sit on the application's critical path
-  // anyway. Run those inline even in async mode.
+  // anyway. Run those inline even in async mode. Inline runs never fault:
+  // sync hosts must stay deterministic, so fault tolerance is strictly an
+  // async-queue property.
   if (!Cfg.Async || Level < 1) {
     Stats.InlineRuns++;
-    runJob(J);
+    if (J.Level >= 1)
+      runOptPipeline(J.Body);
+    J.CM->finalizeCode(std::move(J.Body));
     return;
   }
+  J.FaultId = Stats.Enqueued;
   Stats.Enqueued++;
   {
     std::lock_guard<std::mutex> L(Mu);
@@ -94,8 +148,12 @@ void CompilePipeline::waitFor(CompiledMethod &CM) {
   Stats.UrgentWaits++;
   std::unique_lock<std::mutex> L(Mu);
   for (Job &J : Queue)
-    if (J.CM == &CM)
+    if (J.CM == &CM) {
       J.Pr = CompilePriority::Urgent;
+      // The application thread is blocked on this code: skip any backoff
+      // delay so a retry (or the quarantine decision) happens immediately.
+      J.NotBefore = {};
+    }
   WorkCv.notify_all();
   DoneCv.wait(L, [&] { return CM.ready(); });
 }
@@ -142,22 +200,62 @@ void CompilePipeline::workerLoop() {
     WorkCv.wait(L, [&] { return ShuttingDown || !Queue.empty(); });
     if (ShuttingDown && Queue.empty())
       return;
-    // Pick the best (priority, enqueue order) job. Queues stay small — at
+    // Pick the best (priority, enqueue order) job among the runnable ones
+    // (backoff gates may hold some back; on shutdown every job is runnable
+    // so the drain cannot hang on a retry delay). Queues stay small — at
     // most one activation burst of |mutable methods| x |hot states| — so a
     // linear scan beats maintaining a heap under the boost mutations.
-    size_t Best = 0;
-    for (size_t I = 1; I < Queue.size(); ++I)
-      if (Queue[I].Pr < Queue[Best].Pr ||
+    auto Now = std::chrono::steady_clock::now();
+    size_t Best = Queue.size();
+    auto Earliest = std::chrono::steady_clock::time_point::max();
+    for (size_t I = 0; I < Queue.size(); ++I) {
+      if (!ShuttingDown && Queue[I].NotBefore > Now) {
+        Earliest = std::min(Earliest, Queue[I].NotBefore);
+        continue;
+      }
+      if (Best == Queue.size() || Queue[I].Pr < Queue[Best].Pr ||
           (Queue[I].Pr == Queue[Best].Pr && Queue[I].Seq < Queue[Best].Seq))
         Best = I;
+    }
+    if (Best == Queue.size()) {
+      // Everything queued is backing off; sleep until the earliest retry
+      // (or a notify: shutdown, a new job, or waitFor clearing a gate).
+      WorkCv.wait_until(L, Earliest);
+      continue;
+    }
     Job J = std::move(Queue[Best]);
     Queue.erase(Queue.begin() + static_cast<std::ptrdiff_t>(Best));
     ++InFlight;
+    FaultHook HookCopy = Hook;
     L.unlock();
 
-    runJob(J);
+    bool Ok = attemptJob(J, HookCopy);
 
     L.lock();
+    if (!Ok) {
+      ++Stats.FailedAttempts;
+      ++J.Attempts;
+      if (J.Attempts >= Cfg.MaxAttempts) {
+        // Quarantine: pin the method to general code permanently and
+        // publish the held (unoptimized, semantics-preserving) body so
+        // waitFor callers and the interpreter's pending-shell safepoint
+        // are released — a failed compile must never wedge the app thread.
+        ++Stats.Quarantines;
+        Quarantined.insert(&J.CM->method());
+        QuarantineCount.fetch_add(1, std::memory_order_release);
+        L.unlock();
+        J.CM->finalizeCode(std::move(J.Body));
+        L.lock();
+      } else {
+        ++Stats.Retries;
+        unsigned Shift = J.Attempts - 1 < 16 ? J.Attempts - 1 : 16;
+        unsigned DelayMs = std::min(Cfg.BackoffBaseMs << Shift,
+                                    Cfg.BackoffCapMs);
+        J.NotBefore = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(DelayMs);
+        Queue.push_back(std::move(J));
+      }
+    }
     --InFlight;
     Pending.store(Queue.size() + InFlight, std::memory_order_release);
     DoneCv.notify_all();

@@ -29,16 +29,20 @@
 #include "ir/Function.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 namespace dchm {
 
 class CompiledMethod;
+struct MethodInfo;
 
 /// Relative urgency of a queued compile. Lower value = served first.
 enum class CompilePriority : unsigned {
@@ -54,6 +58,9 @@ struct PipelineStats {
   uint64_t InlineRuns = 0;    ///< jobs run synchronously (sync mode / opt0)
   uint64_t UrgentWaits = 0;   ///< waitFor calls that found the code pending
   uint64_t Boosts = 0;        ///< priority raises on queued jobs
+  uint64_t FailedAttempts = 0; ///< attempts that faulted or missed a deadline
+  uint64_t Retries = 0;        ///< failed attempts requeued with backoff
+  uint64_t Quarantines = 0;    ///< methods permanently demoted to general code
 };
 
 /// Background compiler for pending CompiledMethod shells.
@@ -62,7 +69,23 @@ public:
   struct Config {
     bool Async = false;   ///< off: every enqueue() runs the job inline
     unsigned Threads = 1; ///< worker count when async
+    /// Fault tolerance: a failed attempt (fault hook, injected fault, or
+    /// deadline overrun) is retried with capped exponential backoff; after
+    /// MaxAttempts failures the method is quarantined to general code
+    /// permanently and the held body is published so safepoint waiters
+    /// never wedge. Faults apply only to async queued jobs — inline/sync
+    /// runs never fault, keeping sync hosts deterministic.
+    unsigned MaxAttempts = 3;   ///< attempts per job before quarantine
+    unsigned BackoffBaseMs = 1; ///< first retry delay
+    unsigned BackoffCapMs = 50; ///< backoff ceiling
+    unsigned DeadlineMs = 0;    ///< per-attempt opt-work deadline (0 = none)
+    unsigned FaultEvery = 0;    ///< inject a failure every Nth job (0 = off)
+    bool FaultPersist = false;  ///< injected faults persist across retries
   };
+
+  /// Host-test fault hook: return true to fail this attempt of a job for M.
+  using FaultHook =
+      std::function<bool(const MethodInfo &M, int Level, unsigned Attempt)>;
 
   CompilePipeline() = default;
   ~CompilePipeline();
@@ -99,6 +122,18 @@ public:
   /// Blocks until every queued and in-flight job has finished.
   void drain();
 
+  /// Installs a fault hook consulted before every async job attempt. Set it
+  /// before driving the VM (or after a drain); it is read under the queue
+  /// mutex, so no attempt races the installation.
+  void setFaultHook(FaultHook H);
+
+  /// True when M has exhausted its compile attempts and is pinned to
+  /// general code. The adaptive system stops promoting quarantined methods.
+  bool quarantined(const MethodInfo &M) const;
+  uint64_t quarantineCount() const {
+    return QuarantineCount.load(std::memory_order_acquire);
+  }
+
   /// True while any job is queued or in flight. Lock-free; callers use it
   /// to skip boost bookkeeping on the hot path.
   bool hasPending() const {
@@ -114,9 +149,14 @@ private:
     int Level = 0;
     CompilePriority Pr = CompilePriority::General;
     uint64_t Seq = 0;
+    unsigned Attempts = 0; ///< failed attempts so far
+    uint64_t FaultId = 0;  ///< stable id for deterministic fault injection
+    std::chrono::steady_clock::time_point NotBefore{}; ///< backoff gate
   };
 
-  static void runJob(Job &J);
+  /// One optimization attempt; false = the attempt failed (fault hook,
+  /// injected fault, or deadline overrun) and J.Body is intact for a retry.
+  bool attemptJob(Job &J, const FaultHook &Hook) const;
   void workerLoop();
   void stopWorkers();
 
@@ -131,6 +171,9 @@ private:
   bool ShuttingDown = false;
   std::atomic<size_t> Pending{0}; ///< Queue.size() + InFlight
   PipelineStats Stats;            ///< app-thread fields except via mutex
+  FaultHook Hook;                 ///< guarded by Mu
+  std::unordered_set<const MethodInfo *> Quarantined; ///< guarded by Mu
+  std::atomic<uint64_t> QuarantineCount{0};
 };
 
 } // namespace dchm

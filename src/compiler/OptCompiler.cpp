@@ -28,7 +28,10 @@ void OptCompiler::setPlan(const MutationPlan *Pl) {
 
 void OptCompiler::configure(bool Async, unsigned Threads,
                             bool SpecializationCache) {
-  CompilePipeline::Config C;
+  // Fault-tolerance knobs (retry limits, deadlines, fault injection) come
+  // from the environment; async/threads were already resolved by the caller
+  // through VMOptions, so they override whatever the env helper read.
+  CompilePipeline::Config C = CompilePipeline::configFromEnv({});
   C.Async = Async;
   C.Threads = Threads;
   Pipeline.configure(C);
@@ -62,6 +65,10 @@ CompiledMethod *OptCompiler::finish(MethodInfo &M, IRFunction Code, int Level,
   M.CompiledVersions.push_back(
       std::make_unique<CompiledMethod>(M, Level, StateIdx, Cycles));
   CompiledMethod *CM = M.CompiledVersions.back().get();
+  // Budget accounting needs a size before the (possibly async) body exists;
+  // estimate from the request-time unit size with the finalizeCode density
+  // model so sync and async hosts charge identical budget bytes.
+  CM->setBudgetBytes(32 + UnitSize * (Level == 0 ? 14 : 10));
 
   Stats.TotalCompileCycles += Cycles;
   if (StateIdx >= 0) {

@@ -11,6 +11,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <unordered_set>
 
 namespace dchm {
 
@@ -48,6 +49,17 @@ VirtualMachine::VirtualMachine(Program &P, const VMOptions &Opts)
   }
   Compiler.configure(Async, Threads, Cache);
   Mutation.setCompiler(&Compiler);
+  Mutation.setHeap(&TheHeap);
+  // Code/TIB budget for graceful degradation: explicit option wins, then
+  // DCHM_CODE_BUDGET (bytes), else unlimited.
+  size_t Budget = Opts.CodeBudgetBytes;
+  if (Budget == 0)
+    if (const char *E = std::getenv("DCHM_CODE_BUDGET")) {
+      long long N = std::strtoll(E, nullptr, 10);
+      if (N > 0)
+        Budget = static_cast<size_t>(N);
+    }
+  Mutation.setCodeBudget(Budget);
   Interp = std::make_unique<Interpreter>(P, TheHeap, *this, Opts.Dispatch,
                                          Opts.InlineCaches, Opts.FrameArena);
   Interp->setInlineSampling(Opts.Adaptive.SampleInterval == 1);
@@ -70,6 +82,12 @@ void VirtualMachine::setMutationPlan(const MutationPlan *Plan) {
   Adaptive.setRecompileListener(&Mutation);
   Compiler.setPlan(Plan);
   MutationActive = true;
+  // Installation is stop-the-world and includes re-classing objects that
+  // already exist (mid-run activation or re-install after retirement). It
+  // must happen before the budget check and the recompilation refresh so
+  // their audit notifications never observe a half-installed heap.
+  Mutation.migrateExistingObjects(TheHeap);
+  Mutation.enforceBudget();
   // Online installation: methods that got hot before the plan existed need
   // their specialized versions generated now.
   Adaptive.refreshMutableMethods();
@@ -79,8 +97,56 @@ void VirtualMachine::setOlcDatabase(const OlcDatabase *Db) {
   Compiler.setOlcDatabase(Db);
 }
 
+bool VirtualMachine::retireMutationPlan() {
+  if (!MutationActive || !Mutation.plan())
+    return false;
+  // Pending specialized shells must publish their bodies before they can be
+  // handed to reclamation — the drain must never race a finalizeCode.
+  Compiler.sync();
+  Mutation.retirePlan(TheHeap);
+  Adaptive.setPlan(nullptr);
+  Adaptive.setRecompileListener(nullptr);
+  Compiler.setPlan(nullptr);
+  MutationActive = false;
+  reclaimRetired();
+  return true;
+}
+
+void VirtualMachine::reclaimRetired() {
+  // Epoch-based safety: with a live frame, a return address may still point
+  // into a retired body; wait for the next top-level quiescent call.
+  if (Interp->liveFrames() != 0)
+    return;
+  std::unordered_set<const TIB *> InUse;
+  TheHeap.forEachObject([&](Object *O) {
+    if (O->Tib)
+      InUse.insert(O->Tib);
+  });
+  P.drainReclaimList(InUse);
+}
+
 Value VirtualMachine::call(MethodId M, const std::vector<Value> &Args) {
   return Interp->invoke(M, Args);
+}
+
+Expected<Value> VirtualMachine::run(MethodId M, const std::vector<Value> &Args) {
+  if (M >= P.numMethods())
+    return VMError::error("run: no such method id " + std::to_string(M));
+  MethodInfo &MI = P.method(M);
+  if (!MI.HasBody)
+    return VMError::error("run: method '" + MI.Name + "' has no body");
+  size_t Want = MI.numArgsWithReceiver();
+  if (Args.size() != Want)
+    return VMError::error("run: method '" + MI.Name + "' takes " +
+                          std::to_string(Want) + " argument(s), got " +
+                          std::to_string(Args.size()));
+  Value V = call(M, Args);
+  // The heap budget is soft and sticky: execution completed deterministically
+  // even past the budget, but the overrun surfaces as a recoverable error
+  // instead of being dropped (or aborting).
+  if (TheHeap.budgetError())
+    return TheHeap.budgetError();
+  return V;
 }
 
 uint64_t VirtualMachine::totalCycles() const {

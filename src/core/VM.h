@@ -34,6 +34,7 @@
 #include "mutation/MutationManager.h"
 #include "runtime/Heap.h"
 #include "runtime/Program.h"
+#include "support/Error.h"
 
 #include <memory>
 
@@ -71,6 +72,11 @@ struct VMOptions {
   /// in the environment; default off). Auditing never changes simulated
   /// cycles, instruction counts, or output — it is host-side work only.
   HostToggle AuditConsistency = HostToggle::Auto; ///< DCHM_AUDIT, def. off
+  /// Budget over specialized-code bytes + special-TIB bytes (graceful
+  /// degradation, docs/degradation.md). 0 defers to DCHM_CODE_BUDGET in the
+  /// environment; unset there too means unlimited. Under pressure the
+  /// mutation engine demotes the coldest hot states to general code.
+  size_t CodeBudgetBytes = 0;
 };
 
 /// Everything the experiment harness reads after (or during) a run.
@@ -136,8 +142,29 @@ public:
   /// True when VMOptions::AuditConsistency (or DCHM_AUDIT) resolved to on.
   bool auditEnabled() const { return AuditOn; }
 
+  /// Stop-the-world reverse of setMutationPlan: retires the installed plan
+  /// (MutationManager::retirePlan), detaches it from the adaptive system
+  /// and the compiler, and drains the epoch-based reclamation list if no
+  /// interpreter frame is live. Afterwards setMutationPlan can install a
+  /// new plan (or the same one) again. Returns false when no plan is
+  /// active.
+  bool retireMutationPlan();
+
+  /// Drains the Program's reclamation list of retired special TIBs and
+  /// specialized bodies, but only at a quiescent point: no live interpreter
+  /// frames, and only entries retired before the current code epoch whose
+  /// TIBs no heap object references (stranded objects keep their TIB alive
+  /// rather than dangling). Safe to call any time; no-op when unsafe.
+  void reclaimRetired();
+
   /// Invokes a method (receiver first for instance methods).
   Value call(MethodId M, const std::vector<Value> &Args);
+
+  /// Validating, recoverable-error front end to call(): rejects bad entry
+  /// points and argument lists with a VMError instead of aborting, and
+  /// surfaces a heap soft-budget overrun (Heap::budgetError) recorded
+  /// during the run. Execution itself is identical to call().
+  Expected<Value> run(MethodId M, const std::vector<Value> &Args);
 
   /// Total simulated cycles so far: execution + compilation + GC +
   /// mutation bookkeeping. The drivers use this as the clock. Safe mid-run

@@ -74,6 +74,11 @@ public:
 
   const ExecStats &stats() const { return Stats; }
 
+  /// Number of live activation records. Zero means no return address can
+  /// point into compiled code — the safe point for draining the epoch-based
+  /// reclamation list of retired TIBs and specialized bodies.
+  size_t liveFrames() const { return Depth; }
+
   /// True when the inner loop runs on computed-goto threaded dispatch.
   bool threadedDispatch() const { return UseThreaded; }
   bool inlineCachesEnabled() const { return UseICs; }

@@ -11,6 +11,7 @@
 #include "support/Debug.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace dchm {
 
@@ -18,12 +19,14 @@ void MutationManager::installPlan(const MutationPlan &Plan) {
   DCHM_CHECK(!Installed, "mutation plan installed twice");
   DCHM_CHECK(P.isLinked(), "install plan after linking");
   Installed = &Plan;
+  SwingIns.assign(Plan.Classes.size(), {});
 
   for (size_t Idx = 0; Idx < Plan.Classes.size(); ++Idx) {
     const MutableClassPlan &CP = Plan.Classes[Idx];
     ClassInfo &C = P.cls(CP.Cls);
     DCHM_CHECK(C.MutableIndex < 0, "class appears twice in the plan");
     C.MutableIndex = static_cast<int>(Idx);
+    SwingIns[Idx].assign(CP.HotStates.size(), 0);
 
     for (FieldId F : CP.InstanceStateFields) {
       DCHM_CHECK(!P.field(F).IsStatic, "instance state field is static");
@@ -70,6 +73,8 @@ void MutationManager::installPlan(const MutationPlan &Plan) {
   // The IMT rewiring above (and the special-TIB creation) changed how the
   // same call sites must dispatch: interface sites that cached a Direct
   // code pointer would otherwise keep bypassing the object's current TIB.
+  // (The caller enforces the code budget after existing objects migrate, so
+  // audit hooks never observe a half-installed heap.)
   P.bumpCodeEpoch();
 }
 
@@ -166,8 +171,13 @@ void MutationManager::onInstanceStateStore(Object *O, FieldInfo &F) {
   int S = matchInstanceState(CP, O);
   if (S >= 0) {
     Stats.StateMatches++;
-    swingObjectTib(O, C->SpecialTibs[static_cast<size_t>(S)]);
-    boostPendingSpecials(CP, static_cast<size_t>(S));
+    SwingIns[static_cast<size_t>(C->MutableIndex)][static_cast<size_t>(S)]++;
+    // A null slot means this hot state was evicted under code-budget
+    // pressure; the class TIB (general code) is its resting place.
+    TIB *To = C->SpecialTibs[static_cast<size_t>(S)];
+    swingObjectTib(O, To ? To : C->ClassTib);
+    if (To)
+      boostPendingSpecials(CP, static_cast<size_t>(S));
   } else {
     Stats.StateMisses++;
     swingObjectTib(O, C->ClassTib);
@@ -190,8 +200,11 @@ void MutationManager::onConstructorExit(Object *O, MethodInfo &Ctor) {
   int S = matchInstanceState(CP, O);
   if (S >= 0) {
     Stats.StateMatches++;
-    swingObjectTib(O, C->SpecialTibs[static_cast<size_t>(S)]);
-    boostPendingSpecials(CP, static_cast<size_t>(S));
+    SwingIns[static_cast<size_t>(C->MutableIndex)][static_cast<size_t>(S)]++;
+    TIB *To = C->SpecialTibs[static_cast<size_t>(S)];
+    swingObjectTib(O, To ? To : C->ClassTib);
+    if (To)
+      boostPendingSpecials(CP, static_cast<size_t>(S));
   } else {
     Stats.StateMisses++;
     swingObjectTib(O, C->ClassTib);
@@ -214,9 +227,12 @@ uint64_t MutationManager::migrateExistingObjects(Heap &H) {
     int S = matchInstanceState(CP, O);
     if (S >= 0) {
       Stats.StateMatches++;
-      swingObjectTib(O, C->SpecialTibs[static_cast<size_t>(S)]);
-      boostPendingSpecials(CP, static_cast<size_t>(S));
-      ++Migrated;
+      SwingIns[static_cast<size_t>(C->MutableIndex)][static_cast<size_t>(S)]++;
+      if (TIB *To = C->SpecialTibs[static_cast<size_t>(S)]) {
+        swingObjectTib(O, To);
+        boostPendingSpecials(CP, static_cast<size_t>(S));
+        ++Migrated;
+      }
     }
   });
   noteTransition("online: object migration");
@@ -254,6 +270,8 @@ void MutationManager::refreshMethodPointers(const MutableClassPlan &CP,
     // the general code. The class TIB always holds general code.
     for (size_t S = 0; S < CP.HotStates.size(); ++S) {
       TIB *ST = C.SpecialTibs[S];
+      if (!ST)
+        continue; // evicted hot state: no TIB left to route code into
       CompiledMethod *Want = (staticPartMatches(CP, S) && M.Specials[S])
                                  ? M.Specials[S]
                                  : M.General;
@@ -304,6 +322,193 @@ void MutationManager::onMutableMethodRecompiled(MethodInfo &M) {
   // propagated to the sub classes"). Route the special code per Figure 5.
   refreshMethodPointers(*CP, M);
   noteTransition("part II: mutable method recompiled");
+  // Fresh specialized bodies grew the footprint; demote cold states if that
+  // pushed us over the code budget.
+  enforceBudget();
+}
+
+uint64_t MutationManager::retirePlan(Heap &H) {
+  DCHM_CHECK(Installed, "retirePlan without an installed plan");
+
+  // Stop-the-world phase 1: swing every object sitting on a special TIB
+  // back to its class TIB, so no dispatch can reach a retired structure.
+  uint64_t OnSpecial = 0;
+  H.forEachObject([&](Object *O) {
+    if (O->IsArray || !O->Tib || !O->Tib->isSpecial())
+      return;
+    ++OnSpecial;
+    if (Debug.SkipRetireSwing)
+      return; // injected fault: strand the object on its retired TIB
+    swingObjectTib(O, O->Tib->Cls->ClassTib);
+  });
+
+  // Phase 2: restore every dispatch structure to its pre-install shape.
+  for (const MutableClassPlan &CP : Installed->Classes) {
+    ClassInfo &C = P.cls(CP.Cls);
+    // The content-keyed specialization cache can share one body across
+    // several hot states of a method; retire each distinct body once.
+    std::unordered_set<CompiledMethod *> Retired;
+    for (MethodId MId : CP.MutableMethods) {
+      MethodInfo &M = P.method(MId);
+      if (M.Flags.IsStatic) {
+        if (M.General && P.staticEntry(M.Id) != M.General &&
+            !Debug.SkipCodePointerUpdate) {
+          P.setStaticEntry(M.Id, M.General);
+          Stats.CodePointerUpdates++;
+          Stats.ExtraCycles += DispatchCost::PointerSwing;
+        }
+      } else if (!CP.dependsOnInstanceFields()) {
+        // Static-only classes specialize the class TIB itself; put the
+        // general code back.
+        if (M.General)
+          updateCodePointer(C.ClassTib->Slots[M.VSlot], M.General);
+      }
+      for (CompiledMethod *SP : M.Specials)
+        if (SP && Retired.insert(SP).second) {
+          SP->invalidate();
+          P.retireCompiledBody(SP);
+        }
+      M.Specials.clear();
+      M.IsMutable = false;
+    }
+
+    // Un-rewire the IMT: TibOffset entries go back to Direct, rebound to
+    // the class TIB's (general) code — null when not yet compiled, exactly
+    // the lazy pre-install state. Not charged as a code-pointer update:
+    // installPlan's symmetric rewiring is uncharged structural work too, so
+    // an install/retire/re-install prologue round trip stays cycle-exact.
+    if (C.Imt)
+      for (ImtEntry &E : C.Imt->Slots)
+        if (E.K == ImtEntry::Kind::TibOffset) {
+          E.K = ImtEntry::Kind::Direct;
+          E.DirectCode = C.ClassTib->Slots[E.VSlot];
+        }
+
+    for (TIB *ST : C.SpecialTibs)
+      if (ST)
+        P.retireSpecialTib(ST);
+    C.SpecialTibs.clear();
+
+    for (FieldId F : CP.InstanceStateFields)
+      P.field(F).IsStateField = false;
+    for (FieldId F : CP.StaticStateFields)
+      P.field(F).IsStateField = false;
+    C.MutableIndex = -1;
+  }
+
+  Installed = nullptr;
+  SwingIns.clear();
+  Stats.PlanRetirements++;
+  // Every dispatch structure above changed shape: stale inline caches must
+  // miss from here on, and this epoch stamp is what gates the reclamation
+  // drain for the TIBs and bodies retired above.
+  P.bumpCodeEpoch();
+  noteTransition("retire: plan retired");
+  return OnSpecial;
+}
+
+bool MutationManager::evictState(size_t Idx, size_t S) {
+  const MutableClassPlan &CP = Installed->Classes[Idx];
+  if (!CP.dependsOnInstanceFields())
+    return false; // static-only classes own no special TIBs to demote
+  ClassInfo &C = P.cls(CP.Cls);
+  TIB *ST = C.SpecialTibs[S];
+  if (!ST)
+    return false; // already evicted
+  // Swing residents home to the class TIB (general code) before the TIB
+  // goes on the reclamation list, so it is unreachable from the heap.
+  if (TheHeap)
+    TheHeap->forEachObject([&](Object *O) {
+      if (!O->IsArray && O->Tib == ST)
+        swingObjectTib(O, C.ClassTib);
+    });
+  // Null the slot first (vector size is preserved so state indices stay
+  // stable); refreshMethodPointers then skips this state.
+  C.SpecialTibs[S] = nullptr;
+  for (MethodId MId : CP.MutableMethods) {
+    MethodInfo &M = P.method(MId);
+    if (S >= M.Specials.size() || !M.Specials[S])
+      continue;
+    CompiledMethod *SP = M.Specials[S];
+    M.Specials[S] = nullptr;
+    // The specialization cache can alias one body across states; only
+    // retire it when no other state of this method still routes to it.
+    bool StillUsed = false;
+    for (CompiledMethod *Other : M.Specials)
+      if (Other == SP)
+        StillUsed = true;
+    if (!StillUsed) {
+      SP->invalidate();
+      P.retireCompiledBody(SP);
+    }
+    // Re-route: a static method's JTOC entry may have pointed at the body
+    // we just dropped.
+    refreshMethodPointers(CP, M);
+  }
+  P.retireSpecialTib(ST);
+  P.bumpCodeEpoch();
+  Stats.StateEvictions++;
+  noteTransition("degrade: state evicted");
+  return true;
+}
+
+size_t MutationManager::specialFootprintBytes() const {
+  if (!Installed)
+    return 0;
+  size_t Bytes = 0;
+  std::unordered_set<const CompiledMethod *> Seen;
+  for (const MutableClassPlan &CP : Installed->Classes) {
+    const ClassInfo &C = P.cls(CP.Cls);
+    for (const TIB *ST : C.SpecialTibs)
+      if (ST)
+        Bytes += ST->sizeBytes();
+    for (MethodId MId : CP.MutableMethods)
+      for (const CompiledMethod *SP : P.method(MId).Specials)
+        if (SP && Seen.insert(SP).second)
+          Bytes += SP->budgetBytes();
+  }
+  return Bytes;
+}
+
+uint64_t MutationManager::enforceBudget() {
+  if (!CodeBudgetBytes || !Installed)
+    return 0;
+  uint64_t Evicted = 0;
+  while (specialFootprintBytes() > CodeBudgetBytes) {
+    if (!evictColdestState())
+      break; // nothing left to demote; the remainder is irreducible
+    ++Evicted;
+  }
+  return Evicted;
+}
+
+bool MutationManager::evictColdestState() {
+  if (!Installed)
+    return false;
+  // Benefit-ranked: the state with the fewest part I swing-ins bought the
+  // least specialization benefit. First-wins tie-break keeps the choice
+  // deterministic across hosts (SwingIns is simulated data).
+  size_t BestIdx = 0, BestS = 0;
+  uint64_t BestCount = 0;
+  bool Found = false;
+  for (size_t Idx = 0; Idx < Installed->Classes.size(); ++Idx) {
+    const MutableClassPlan &CP = Installed->Classes[Idx];
+    if (!CP.dependsOnInstanceFields())
+      continue;
+    const ClassInfo &C = P.cls(CP.Cls);
+    for (size_t S = 0; S < C.SpecialTibs.size(); ++S) {
+      if (!C.SpecialTibs[S])
+        continue;
+      uint64_t N = SwingIns[Idx][S];
+      if (!Found || N < BestCount) {
+        Found = true;
+        BestIdx = Idx;
+        BestS = S;
+        BestCount = N;
+      }
+    }
+  }
+  return Found && evictState(BestIdx, BestS);
 }
 
 } // namespace dchm

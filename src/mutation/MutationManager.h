@@ -49,6 +49,8 @@ struct MutationStats {
   uint64_t StateMatches = 0;       ///< part I checks that matched a hot state
   uint64_t StateMisses = 0;        ///< part I checks that matched nothing
   uint64_t ExtraCycles = 0;        ///< simulated cost of all of the above
+  uint64_t PlanRetirements = 0;    ///< retirePlan() runs
+  uint64_t StateEvictions = 0;     ///< hot states demoted to general code
 };
 
 /// Fault-injection switches for the consistency auditor's self-test: each
@@ -66,6 +68,10 @@ struct MutationDebugFlags {
   /// state it was not compiled for — a correctness bug, not just an
   /// invariant break).
   bool SkipCodePointerUpdate = false;
+  /// retirePlan(): skip the heap pass that swings objects off their special
+  /// TIBs, stranding them on retired TIBs the dispatch structures no longer
+  /// know about (heap.tib-foreign for the auditor to catch).
+  bool SkipRetireSwing = false;
 };
 
 /// Runtime engine for dynamic class hierarchy mutation.
@@ -77,6 +83,35 @@ public:
   /// special TIBs, and rewires mutable classes' IMT slots. Must run before
   /// execution starts (the paper feeds the plan to the JVM at startup).
   void installPlan(const MutationPlan &Plan);
+
+  /// Stop-the-world reverse of installPlan: swings every object on a
+  /// special TIB back to its class TIB, restores general code pointers in
+  /// class TIBs and the JTOC, un-rewires IMT slots back to Direct entries,
+  /// unmarks state fields and mutable methods, hands the special TIBs and
+  /// specialized bodies to the Program's epoch-based reclamation list, and
+  /// bumps the code epoch so every stale inline cache misses. After this
+  /// the hierarchy is exactly as if no plan had ever been installed, and a
+  /// new plan (or the same one) can be installed again. Returns the number
+  /// of objects that sat on special TIBs (counted even when the
+  /// SkipRetireSwing fault leaves them stranded).
+  uint64_t retirePlan(Heap &H);
+
+  // --- Code/TIB budget (graceful degradation) ------------------------------
+  /// Wires in the heap so per-state eviction can swing residents off the
+  /// TIB being retired (retirePlan takes the heap explicitly).
+  void setHeap(Heap *H) { TheHeap = H; }
+  /// Budget over specialized-code bytes + special-TIB bytes; 0 = unlimited.
+  void setCodeBudget(size_t Bytes) { CodeBudgetBytes = Bytes; }
+  size_t codeBudget() const { return CodeBudgetBytes; }
+  /// Current specialized footprint: live special-TIB bytes plus the
+  /// deterministic budget bytes of every distinct specialized body.
+  size_t specialFootprintBytes() const;
+  /// Evicts benefit-ranked-coldest hot states until the footprint fits the
+  /// budget (no-op when unlimited). Returns the number of evictions.
+  uint64_t enforceBudget();
+  /// Evicts the single coldest evictable hot state (churn-triggered
+  /// degradation). Returns false when nothing is evictable.
+  bool evictColdestState();
 
   /// Wires in the compiler so part I can boost pending background compiles:
   /// when an object swings into a hot state whose specialized code is still
@@ -128,6 +163,11 @@ private:
   void refreshMethodPointers(const MutableClassPlan &CP, MethodInfo &M);
   void swingObjectTib(Object *O, TIB *To);
   void updateCodePointer(CompiledMethod *&SlotRef, CompiledMethod *To);
+  /// Demotes hot state S of plan entry Idx to general code: swings its
+  /// residents to the class TIB, retires its special TIB (slot goes null;
+  /// vector size is preserved so state indices stay stable) and its
+  /// no-longer-referenced specialized bodies, and re-routes method pointers.
+  bool evictState(size_t Idx, size_t S);
   /// Jumps still-queued compiles of CP's specials for hot state S ahead of
   /// the queue (an object is about to dispatch through them).
   void boostPendingSpecials(const MutableClassPlan &CP, size_t S);
@@ -141,9 +181,14 @@ private:
   Program &P;
   const MutationPlan *Installed = nullptr;
   OptCompiler *Compiler = nullptr;
+  Heap *TheHeap = nullptr;
   AuditHook *Audit = nullptr;
   MutationDebugFlags Debug;
   MutationStats Stats;
+  size_t CodeBudgetBytes = 0; ///< 0 = unlimited
+  /// Benefit signal for eviction ranking: per (plan entry, hot state)
+  /// count of part I swings *into* the state. Simulated-deterministic.
+  std::vector<std::vector<uint64_t>> SwingIns;
 };
 
 } // namespace dchm

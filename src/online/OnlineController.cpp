@@ -34,9 +34,42 @@ void OnlineMutationController::poll() {
       activate();
     break;
   case Phase::Active:
+  case Phase::Degrading:
+    pollDegradation();
+    break;
   case Phase::Inert:
     break;
   }
+}
+
+void OnlineMutationController::pollDegradation() {
+  MutationManager &MM = VM.mutation();
+  if (!MM.plan()) { // retired out from under us: nothing left to degrade
+    CurPhase = Phase::Inert;
+    return;
+  }
+  uint64_t Now = VM.totalCycles();
+  if (Now - LastDegradeCheck < Cfg.DegradeCheckCycles)
+    return;
+  uint64_t WindowTotal = Now - LastDegradeCheck;
+  uint64_t Mut = MM.stats().ExtraCycles;
+  uint64_t WindowMut = Mut - LastMutationCycles;
+  LastDegradeCheck = Now;
+  LastMutationCycles = Mut;
+
+  bool Degraded = false;
+  // Pressure: specialized footprint over the configured code/TIB budget.
+  // (The part II hooks also enforce this synchronously; the poll catches
+  // budgets tightened after install and swing-driven footprint growth.)
+  if (MM.codeBudget() && MM.specialFootprintBytes() > MM.codeBudget())
+    Degraded = MM.enforceBudget() > 0;
+  // Churn: mutation bookkeeping dominating the window means objects are
+  // thrashing between states; demote the coldest state to stem the swings.
+  if (WindowTotal > 0 &&
+      static_cast<double>(WindowMut) >
+          Cfg.ChurnFraction * static_cast<double>(WindowTotal))
+    Degraded = MM.evictColdestState() || Degraded;
+  CurPhase = Degraded ? Phase::Degrading : Phase::Active;
 }
 
 void OnlineMutationController::finishHotProfiling() {
@@ -98,13 +131,11 @@ void OnlineMutationController::activate() {
     VM.setOlcDatabase(&Olc);
   }
   // Mid-run installation: creates the special TIBs, marks mutable methods,
-  // rewires IMT slots, and recompiles already-hot mutable methods so their
-  // specialized versions exist (VirtualMachine::setMutationPlan handles the
-  // refresh). Live objects migrate at their next state-field store.
+  // rewires IMT slots, migrates objects constructed before activation onto
+  // the special TIBs matching their current state, and recompiles
+  // already-hot mutable methods so their specialized versions exist
+  // (VirtualMachine::setMutationPlan handles all of it stop-the-world).
   VM.setMutationPlan(&Plan);
-  // Stop-the-world re-class pass: objects constructed before activation
-  // migrate to the special TIB matching their current state.
-  VM.mutation().migrateExistingObjects(VM.heap());
   // Mid-run activation is the hardest case for the interpreter's inline
   // caches: every warm call site predates the special TIBs. installPlan and
   // the recompilation refresh above already bumped the code epoch; this
@@ -112,6 +143,8 @@ void OnlineMutationController::activate() {
   // plan with no mutable IMT slots and no already-hot methods).
   P.bumpCodeEpoch();
   ActivationCycle = VM.totalCycles();
+  LastDegradeCheck = ActivationCycle;
+  LastMutationCycles = VM.mutation().stats().ExtraCycles;
   CurPhase = Phase::Active;
 }
 

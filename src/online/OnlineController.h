@@ -59,9 +59,19 @@ public:
     /// Also run the OLC analysis at activation (enables specialization
     /// inlining for methods compiled after that point).
     bool DeriveOlc = true;
+    /// Simulated cycles between graceful-degradation checks once Active.
+    uint64_t DegradeCheckCycles = 500'000;
+    /// Degrade when mutation bookkeeping exceeds this fraction of the
+    /// simulated cycles spent in the check window (state churn: the plan's
+    /// hot states no longer match the program's behavior).
+    double ChurnFraction = 0.25;
   };
 
-  enum class Phase { HotProfiling, ValueProfiling, Active, Inert };
+  /// Degrading is Active under pressure: the code/TIB budget was exceeded
+  /// or mutation churn dominated the last window, and the coldest hot
+  /// states are being demoted to general code. The controller returns to
+  /// Active when a check window passes without an eviction.
+  enum class Phase { HotProfiling, ValueProfiling, Active, Degrading, Inert };
 
   /// The controller must outlive the VM's use of the derived plan.
   OnlineMutationController(VirtualMachine &VM, Config Cfg);
@@ -80,6 +90,7 @@ public:
 private:
   void finishHotProfiling();
   void activate();
+  void pollDegradation();
 
   VirtualMachine &VM;
   Config Cfg;
@@ -91,6 +102,8 @@ private:
   MutationPlan Plan;
   OlcDatabase Olc;
   uint64_t ActivationCycle = 0;
+  uint64_t LastDegradeCheck = 0;
+  uint64_t LastMutationCycles = 0;
 };
 
 } // namespace dchm

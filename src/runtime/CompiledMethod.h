@@ -87,6 +87,26 @@ public:
   size_t codeBytes() const { return CodeBytes; }
   uint64_t compileCycles() const { return CompileCycles; }
 
+  /// Deterministic size estimate charged against the code budget at compile
+  /// *request* time (CodeBytes only exists once an async body finalizes, so
+  /// budget accounting cannot use it without diverging between sync and
+  /// async hosts). Set by the compiler when the shell is created.
+  size_t budgetBytes() const { return BudgetBytes; }
+  void setBudgetBytes(size_t N) { BudgetBytes = N; }
+
+  /// Drops the body IR of a retired version (epoch-based reclamation after
+  /// plan retirement / budget eviction). The CompiledMethod object itself
+  /// stays allocated forever, Jikes-style; CodeBytes is kept so code-size
+  /// metrics remain stable. Only legal once no dispatch structure or frame
+  /// can reach this version.
+  void releaseBody() {
+    Code = IRFunction();
+    IcSites.clear();
+    IcSites.shrink_to_fit();
+    BodyReleased = true;
+  }
+  bool bodyReleased() const { return BodyReleased; }
+
   /// Number of Specials slots this version serves: 1, or more when the
   /// specialization cache found hot states indistinguishable to the method.
   unsigned shareCount() const { return ShareCount; }
@@ -110,8 +130,10 @@ private:
   int StateIndex;
   uint64_t CompileCycles;
   size_t CodeBytes = 0;
+  size_t BudgetBytes = 0;
   unsigned ShareCount = 1;
   bool Invalidated = false;
+  bool BodyReleased = false;
   std::atomic<bool> ReadyFlag{false};
   std::vector<InlineCacheSite> IcSites; ///< one per call site in Code
 };

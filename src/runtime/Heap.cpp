@@ -9,6 +9,7 @@
 
 #include "support/Debug.h"
 
+#include <cstdio>
 #include <new>
 
 namespace dchm {
@@ -41,8 +42,19 @@ Object *Heap::allocateRaw(uint32_t NumSlots) {
   size_t Bytes = Object::allocBytes(NumSlots);
   if (Stats.UsedBytes + Bytes > Budget && Roots)
     collect();
-  // Soft budget: proceed even if the collection did not free enough — the
-  // benchmarks size their heaps so this models GC pressure, not OOM.
+  // Soft budget: proceed even when the collection did not free enough (the
+  // run stays deterministic; cycles for the attempted GC were charged), but
+  // record the overrun as a sticky recoverable error the embedder can
+  // surface instead of silently pretending the heap fit.
+  if (Stats.UsedBytes + Bytes > Budget && !BudgetErr) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "heap budget exhausted: %zu bytes live + %zu requested "
+                  "exceeds budget of %zu bytes%s",
+                  Stats.UsedBytes, Bytes, Budget,
+                  Roots ? " after collection" : " (no GC roots registered)");
+    BudgetErr = VMError::error(Buf);
+  }
   void *Mem = ::operator new(Bytes);
   Object *O = new (Mem) Object();
   O->NumSlots = NumSlots;

@@ -23,6 +23,7 @@
 #include "runtime/Entities.h"
 #include "runtime/Object.h"
 #include "runtime/TIB.h"
+#include "support/Error.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -95,6 +96,14 @@ public:
   const HeapStats &stats() const { return Stats; }
   size_t budgetBytes() const { return Budget; }
 
+  /// Sticky recoverable error recorded the first time an allocation is
+  /// still over budget after a collection (the allocator is soft: it
+  /// proceeds so the run stays deterministic, but the overrun is no longer
+  /// silent). Surfaced by VirtualMachine::run(); tools treat it as a
+  /// recoverable failure rather than aborting.
+  const VMError &budgetError() const { return BudgetErr; }
+  void clearBudgetError() { BudgetErr = VMError(); }
+
 private:
   Object *allocateRaw(uint32_t NumSlots);
   void mark(Object *O, std::vector<Object *> &Work);
@@ -104,6 +113,7 @@ private:
   std::vector<RootProvider *> ExtraRoots;
   Object *AllObjects = nullptr;
   HeapStats Stats;
+  VMError BudgetErr;
 };
 
 /// RAII root registration for objects held in host (C++) storage: anything

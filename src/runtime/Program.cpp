@@ -8,6 +8,7 @@
 #include "runtime/Program.h"
 
 #include "ir/Verifier.h"
+#include "runtime/CompiledMethod.h"
 #include "support/Debug.h"
 
 #include <algorithm>
@@ -17,10 +18,9 @@ namespace dchm {
 
 namespace {
 
-[[noreturn]] void linkError(const std::string &Msg) {
-  std::fprintf(stderr, "dchm link error: %s\n", Msg.c_str());
-  std::abort();
-}
+/// Link failures are recoverable: phases return the first diagnostic up
+/// through tryLink(); link() turns it into the traditional abort.
+VMError linkError(const std::string &Msg) { return VMError::error(Msg); }
 
 bool sameSignature(const MethodInfo &A, const MethodInfo &B) {
   return A.Name == B.Name && A.RetTy == B.RetTy && A.ParamTys == B.ParamTys;
@@ -166,7 +166,7 @@ bool Program::isSubtype(ClassId Sub, ClassId Sup) const {
          C.Ancestors.end();
 }
 
-void Program::computeAncestry() {
+VMError Program::computeAncestry() {
   for (ClassInfo &C : Classes) {
     C.Ancestors.clear();
     ClassId Cur = C.Id;
@@ -175,7 +175,7 @@ void Program::computeAncestry() {
       C.Ancestors.push_back(Cur);
       Cur = Classes[Cur].Super;
       if (++Guard > Classes.size())
-        linkError("class hierarchy cycle involving " + C.Name);
+        return linkError("class hierarchy cycle involving " + C.Name);
     }
     // Transitive interface closure: own interfaces, their super-interfaces
     // (interfaces may list Interfaces too), and everything inherited.
@@ -195,6 +195,7 @@ void Program::computeAncestry() {
         Work.push_back(Sup);
     }
   }
+  return VMError::success();
 }
 
 void Program::layoutFields() {
@@ -265,7 +266,7 @@ void Program::buildVTables() {
   }
 }
 
-void Program::buildImts() {
+VMError Program::buildImts() {
   for (ClassInfo &C : Classes) {
     if (C.IsInterface || C.AllInterfaces.empty())
       continue;
@@ -282,7 +283,7 @@ void Program::buildImts() {
           if ((Impl = findVirtualBySignature(Classes[A], IM)))
             break;
         if (!Impl)
-          linkError("class " + C.Name + " does not implement " + IM.Name +
+          return linkError("class " + C.Name + " does not implement " + IM.Name +
                     " of interface " + Classes[IfId].Name);
         PerSlot[IMId % NumImtSlots].emplace_back(IMId, Impl);
       }
@@ -302,6 +303,7 @@ void Program::buildImts() {
         E.Table.emplace_back(IMId, Impl->VSlot);
     }
   }
+  return VMError::success();
 }
 
 void Program::createTibs() {
@@ -321,23 +323,23 @@ void Program::createTibs() {
   }
 }
 
-void Program::resolveBodies() {
+VMError Program::resolveBodies() {
   for (MethodInfo &M : Methods) {
     if (M.Flags.IsAbstract) {
       if (M.HasBody)
-        linkError("abstract method " + M.Name + " has a body");
+        return linkError("abstract method " + M.Name + " has a body");
       continue;
     }
     if (!M.HasBody)
-      linkError("method " + Classes[M.Owner].Name + "." + M.Name +
+      return linkError("method " + Classes[M.Owner].Name + "." + M.Name +
                 " has no body");
     std::string Err = verifyFunction(M.Bytecode);
     if (!Err.empty())
-      linkError("verifier: " + Err);
+      return linkError("verifier: " + Err);
     if (M.Bytecode.NumArgs != M.numArgsWithReceiver())
-      linkError("method " + M.Name + ": body argument count mismatch");
+      return linkError("method " + M.Name + ": body argument count mismatch");
     if (M.Bytecode.RetTy != M.RetTy)
-      linkError("method " + M.Name + ": body return type mismatch");
+      return linkError("method " + M.Name + ": body return type mismatch");
 
     for (size_t Idx = 0; Idx < M.Bytecode.Insts.size(); ++Idx) {
       Instruction &I = M.Bytecode.Insts[Idx];
@@ -345,29 +347,29 @@ void Program::resolveBodies() {
       case Opcode::GetField:
       case Opcode::PutField: {
         if (static_cast<size_t>(I.Imm) >= Fields.size())
-          linkError(M.Name + ": bad field id");
+          return linkError(M.Name + ": bad field id");
         const FieldInfo &F = Fields[static_cast<FieldId>(I.Imm)];
         if (F.IsStatic)
-          linkError(M.Name + ": instance access to static field " + F.Name);
+          return linkError(M.Name + ": instance access to static field " + F.Name);
         if (I.Op == Opcode::GetField && I.Ty != F.Ty)
-          linkError(M.Name + ": getfield type mismatch on " + F.Name);
+          return linkError(M.Name + ": getfield type mismatch on " + F.Name);
         if (I.Op == Opcode::PutField &&
             M.Bytecode.RegTypes[I.B] != F.Ty)
-          linkError(M.Name + ": putfield type mismatch on " + F.Name);
+          return linkError(M.Name + ": putfield type mismatch on " + F.Name);
         I.Aux = F.Slot;
         break;
       }
       case Opcode::GetStatic:
       case Opcode::PutStatic: {
         if (static_cast<size_t>(I.Imm) >= Fields.size())
-          linkError(M.Name + ": bad field id");
+          return linkError(M.Name + ": bad field id");
         const FieldInfo &F = Fields[static_cast<FieldId>(I.Imm)];
         if (!F.IsStatic)
-          linkError(M.Name + ": static access to instance field " + F.Name);
+          return linkError(M.Name + ": static access to instance field " + F.Name);
         if (I.Op == Opcode::GetStatic && I.Ty != F.Ty)
-          linkError(M.Name + ": getstatic type mismatch on " + F.Name);
+          return linkError(M.Name + ": getstatic type mismatch on " + F.Name);
         if (I.Op == Opcode::PutStatic && M.Bytecode.RegTypes[I.A] != F.Ty)
-          linkError(M.Name + ": putstatic type mismatch on " + F.Name);
+          return linkError(M.Name + ": putstatic type mismatch on " + F.Name);
         I.Aux = F.Slot;
         break;
       }
@@ -376,43 +378,43 @@ void Program::resolveBodies() {
       case Opcode::CallSpecial:
       case Opcode::CallInterface: {
         if (static_cast<size_t>(I.Imm) >= Methods.size())
-          linkError(M.Name + ": bad method id");
+          return linkError(M.Name + ": bad method id");
         const MethodInfo &Callee = Methods[static_cast<MethodId>(I.Imm)];
         if (I.Args.size() != Callee.numArgsWithReceiver())
-          linkError(M.Name + ": wrong argument count calling " + Callee.Name);
+          return linkError(M.Name + ": wrong argument count calling " + Callee.Name);
         if (I.Ty != Callee.RetTy)
-          linkError(M.Name + ": return type mismatch calling " + Callee.Name);
+          return linkError(M.Name + ": return type mismatch calling " + Callee.Name);
         size_t ParamBase = Callee.Flags.IsStatic ? 0 : 1;
         for (size_t P = 0; P < Callee.ParamTys.size(); ++P)
           if (M.Bytecode.RegTypes[I.Args[ParamBase + P]] != Callee.ParamTys[P])
-            linkError(M.Name + ": argument type mismatch calling " +
+            return linkError(M.Name + ": argument type mismatch calling " +
                       Callee.Name);
         switch (I.Op) {
         case Opcode::CallStatic:
           if (!Callee.Flags.IsStatic)
-            linkError(M.Name + ": callstatic to instance method " +
+            return linkError(M.Name + ": callstatic to instance method " +
                       Callee.Name);
           break;
         case Opcode::CallVirtual:
           if (!Callee.isVirtualDispatch())
-            linkError(M.Name + ": callvirtual needs a virtual method, got " +
+            return linkError(M.Name + ": callvirtual needs a virtual method, got " +
                       Callee.Name);
           if (Classes[Callee.Owner].IsInterface)
-            linkError(M.Name + ": callvirtual to interface method " +
+            return linkError(M.Name + ": callvirtual to interface method " +
                       Callee.Name + " (use callinterface)");
           I.Aux = Callee.VSlot;
           break;
         case Opcode::CallSpecial:
           if (Callee.Flags.IsStatic)
-            linkError(M.Name + ": callspecial to static method " +
+            return linkError(M.Name + ": callspecial to static method " +
                       Callee.Name);
           if (Classes[Callee.Owner].IsInterface)
-            linkError(M.Name + ": callspecial to interface method");
+            return linkError(M.Name + ": callspecial to interface method");
           I.Aux = Callee.VSlot;
           break;
         case Opcode::CallInterface:
           if (!Classes[Callee.Owner].IsInterface)
-            linkError(M.Name + ": callinterface to class method " +
+            return linkError(M.Name + ": callinterface to class method " +
                       Callee.Name);
           I.Aux = static_cast<uint32_t>(Callee.Id % NumImtSlots);
           break;
@@ -423,33 +425,45 @@ void Program::resolveBodies() {
       }
       case Opcode::New: {
         if (static_cast<size_t>(I.Imm) >= Classes.size())
-          linkError(M.Name + ": bad class id in new");
+          return linkError(M.Name + ": bad class id in new");
         if (Classes[static_cast<ClassId>(I.Imm)].IsInterface)
-          linkError(M.Name + ": cannot instantiate interface");
+          return linkError(M.Name + ": cannot instantiate interface");
         break;
       }
       case Opcode::InstanceOf:
       case Opcode::CheckCast:
       case Opcode::ClassEq:
         if (static_cast<size_t>(I.Imm) >= Classes.size())
-          linkError(M.Name + ": bad class id in type test");
+          return linkError(M.Name + ": bad class id in type test");
         break;
       default:
         break;
       }
     }
   }
+  return VMError::success();
 }
 
 void Program::link() {
+  if (VMError E = tryLink()) {
+    std::fprintf(stderr, "dchm link error: %s\n", E.message().c_str());
+    std::abort();
+  }
+}
+
+VMError Program::tryLink() {
   DCHM_CHECK(!Linked, "link() called twice");
-  computeAncestry();
+  if (VMError E = computeAncestry())
+    return E;
   layoutFields();
   buildVTables();
-  buildImts();
+  if (VMError E = buildImts())
+    return E;
   createTibs();
-  resolveBodies();
+  if (VMError E = resolveBodies())
+    return E;
   Linked = true;
+  return VMError::success();
 }
 
 void Program::installCode(MethodInfo &M, CompiledMethod *CM) {
@@ -466,7 +480,8 @@ void Program::installCode(MethodInfo &M, CompiledMethod *CM) {
   auto InstallInto = [&](ClassInfo &C) {
     C.ClassTib->Slots[M.VSlot] = CM;
     for (TIB *ST : C.SpecialTibs)
-      ST->Slots[M.VSlot] = CM;
+      if (ST) // null = hot state evicted under code-budget pressure
+        ST->Slots[M.VSlot] = CM;
     if (C.Imt) {
       for (ImtEntry &E : C.Imt->Slots)
         if (E.K == ImtEntry::Kind::Direct && E.DirectImpl == M.Id)
@@ -520,6 +535,63 @@ size_t Program::specialTibBytes() const {
     if (T->isSpecial())
       Total += T->sizeBytes();
   return Total;
+}
+
+void Program::retireSpecialTib(TIB *T) {
+  DCHM_CHECK(T && T->isSpecial(), "retireSpecialTib needs a special TIB");
+  for (auto It = OwnedTibs.begin(); It != OwnedTibs.end(); ++It) {
+    if (It->get() == T) {
+      RetiredTibs.push_back({std::move(*It), CodeEpoch});
+      OwnedTibs.erase(It);
+      return;
+    }
+  }
+  DCHM_UNREACHABLE("retired TIB not owned by this Program");
+}
+
+void Program::retireCompiledBody(CompiledMethod *CM) {
+  DCHM_CHECK(CM, "retireCompiledBody(null)");
+  RetiredBodies.push_back({CM, CodeEpoch});
+}
+
+void Program::drainReclaimList(const std::unordered_set<const TIB *> &InUse) {
+  // A retired entry is reclaimable once the code epoch has moved past its
+  // stamp (every dispatch structure was rewritten since, so no inline cache
+  // can still yield it) and, for TIBs, no heap object still points at it
+  // (partial-retire faults can strand objects on a retired TIB; freeing it
+  // then would leave dangling Object::Tib pointers).
+  for (size_t I = 0; I < RetiredTibs.size();) {
+    if (RetiredTibs[I].Epoch < CodeEpoch &&
+        InUse.find(RetiredTibs[I].T.get()) == InUse.end()) {
+      RetiredTibs[I] = std::move(RetiredTibs.back());
+      RetiredTibs.pop_back();
+      ++ReclaimedTibs;
+    } else {
+      ++I;
+    }
+  }
+  // Bodies are only safe to release once no retired TIB is heap-referenced
+  // at all: a stranded object (partial-retire fault) can still dispatch
+  // through its retired TIB's slots straight into any retired body.
+  bool TibStranded = false;
+  for (const RetiredTib &RT : RetiredTibs)
+    if (InUse.count(RT.T.get()))
+      TibStranded = true;
+  if (TibStranded)
+    return;
+  for (size_t I = 0; I < RetiredBodies.size();) {
+    CompiledMethod *CM = RetiredBodies[I].CM;
+    // A pending shell may still be in flight in the compile pipeline; leave
+    // it queued until finalizeCode publishes the body.
+    if (RetiredBodies[I].Epoch < CodeEpoch && CM->ready()) {
+      CM->releaseBody();
+      RetiredBodies[I] = RetiredBodies.back();
+      RetiredBodies.pop_back();
+      ++ReclaimedBodies;
+    } else {
+      ++I;
+    }
+  }
 }
 
 } // namespace dchm

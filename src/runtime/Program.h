@@ -23,11 +23,13 @@
 #include "runtime/Entities.h"
 #include "runtime/TIB.h"
 #include "runtime/Value.h"
+#include "support/Error.h"
 
 #include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace dchm {
@@ -57,6 +59,11 @@ public:
   /// Resolves everything. Aborts with a diagnostic on ill-formed input
   /// (the library is exception-free; a bad program is a caller bug).
   void link();
+  /// Recoverable variant of link(): returns a VMError diagnostic instead of
+  /// aborting on ill-formed input. On failure the Program stays unlinked
+  /// (and must be discarded). The assembler and tools use this so malformed
+  /// .mvm input never kills the process.
+  VMError tryLink();
   bool isLinked() const { return Linked; }
 
   // --- Accessors -----------------------------------------------------------
@@ -119,13 +126,32 @@ public:
   size_t classTibBytes() const;
   size_t specialTibBytes() const;
 
+  // --- Epoch-based reclamation (plan retirement / eviction) ----------------
+  /// Moves a special TIB created by createSpecialTib onto the retired list,
+  /// stamped with the current code epoch. The TIB stops counting toward
+  /// specialTibBytes() immediately but stays allocated until
+  /// drainReclaimList proves no stale reference can reach it.
+  void retireSpecialTib(TIB *T);
+  /// Queues a specialized compiled body for release (the CompiledMethod
+  /// object itself stays owned by its MethodInfo forever, Jikes-style; only
+  /// the body IR is dropped).
+  void retireCompiledBody(CompiledMethod *CM);
+  /// Frees retired TIBs whose epoch stamp predates the current code epoch
+  /// and that no live object still points at (InUse = TIBs reachable from
+  /// the heap), and releases retired bodies once finalized. Call only when
+  /// no interpreter frame is live.
+  void drainReclaimList(const std::unordered_set<const TIB *> &InUse);
+  size_t retiredTibCount() const { return RetiredTibs.size(); }
+  size_t reclaimedTibCount() const { return ReclaimedTibs; }
+  size_t reclaimedBodyCount() const { return ReclaimedBodies; }
+
 private:
-  void computeAncestry();
+  VMError computeAncestry();
   void layoutFields();
   void buildVTables();
-  void buildImts();
+  VMError buildImts();
   void createTibs();
-  void resolveBodies();
+  VMError resolveBodies();
   const MethodInfo *findVirtualBySignature(const ClassInfo &C,
                                            const MethodInfo &Sig) const;
 
@@ -140,6 +166,21 @@ private:
 
   std::vector<std::unique_ptr<TIB>> OwnedTibs;
   std::vector<std::unique_ptr<IMT>> OwnedImts;
+
+  /// Retired-but-not-yet-reclaimed special TIBs / specialized bodies, each
+  /// stamped with the code epoch at retirement time.
+  struct RetiredTib {
+    std::unique_ptr<TIB> T;
+    uint64_t Epoch;
+  };
+  struct RetiredBody {
+    CompiledMethod *CM;
+    uint64_t Epoch;
+  };
+  std::vector<RetiredTib> RetiredTibs;
+  std::vector<RetiredBody> RetiredBodies;
+  size_t ReclaimedTibs = 0;
+  size_t ReclaimedBodies = 0;
 
   uint64_t CodeEpoch = 1;
   bool Linked = false;

@@ -1,0 +1,89 @@
+//===-- support/Error.h - Recoverable error channel -----------*- C++ -*-===//
+//
+// Part of DCHM, a reproduction of "Dynamic Class Hierarchy Mutation"
+// (Su & Lipasti, CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recoverable error channel for input-validation and resource paths
+/// (LLVM's Error/Expected, without the checked-discard machinery). The
+/// library is exception-free; conditions a caller can reasonably handle —
+/// ill-formed .mvm input, link failures, heap/code budget exhaustion —
+/// travel through VMError/Expected<T> instead of aborting the process.
+/// DCHM_CHECK (support/Debug.h) remains strictly for internal invariants
+/// whose violation means a bug in the library itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCHM_SUPPORT_ERROR_H
+#define DCHM_SUPPORT_ERROR_H
+
+#include "support/Debug.h"
+
+#include <string>
+#include <utility>
+
+namespace dchm {
+
+/// A recoverable error: either success or a diagnostic message. Follows the
+/// LLVM convention that conversion to bool yields *true when an error is
+/// present* ("if (VMError E = f()) handle(E);").
+class VMError {
+public:
+  VMError() = default;
+
+  static VMError success() { return VMError(); }
+  static VMError error(std::string Msg) {
+    VMError E;
+    E.Failed = true;
+    E.Msg = std::move(Msg);
+    return E;
+  }
+
+  explicit operator bool() const { return Failed; }
+  const std::string &message() const { return Msg; }
+
+private:
+  bool Failed = false;
+  std::string Msg;
+};
+
+/// Either a value of type T or a VMError. Checking for the error state
+/// before dereferencing is on the caller (the value accessors DCHM_CHECK).
+template <typename T> class Expected {
+public:
+  Expected(T V) : Val(std::move(V)) {}
+  Expected(VMError E) : Err(std::move(E)), HasVal(false) {
+    DCHM_CHECK(static_cast<bool>(Err),
+               "Expected<T> constructed from a success VMError");
+  }
+
+  /// True when a value is present (note: opposite polarity to VMError).
+  explicit operator bool() const { return HasVal; }
+
+  T &get() {
+    DCHM_CHECK(HasVal, "Expected<T>::get() on an error value");
+    return Val;
+  }
+  const T &get() const {
+    DCHM_CHECK(HasVal, "Expected<T>::get() on an error value");
+    return Val;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+
+  const VMError &takeError() const {
+    DCHM_CHECK(!HasVal, "Expected<T>::takeError() on a success value");
+    return Err;
+  }
+
+private:
+  T Val{};
+  VMError Err;
+  bool HasVal = true;
+};
+
+} // namespace dchm
+
+#endif // DCHM_SUPPORT_ERROR_H

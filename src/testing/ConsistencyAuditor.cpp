@@ -122,8 +122,12 @@ void ConsistencyAuditor::auditHeap(const std::vector<Object *> &UnderCtor) {
       return;
     }
     int S = matchInstanceState(CP, O);
-    TIB *Expected = S >= 0 ? C->SpecialTibs[static_cast<size_t>(S)]
-                           : C->ClassTib;
+    // A null special-TIB slot means the hot state was evicted under
+    // code-budget pressure; the class TIB is then the legitimate resting
+    // place for objects in that state.
+    TIB *Expected = C->ClassTib;
+    if (S >= 0 && C->SpecialTibs[static_cast<size_t>(S)])
+      Expected = C->SpecialTibs[static_cast<size_t>(S)];
     if (std::find(UnderCtor.begin(), UnderCtor.end(), O) != UnderCtor.end())
       return; // constructor still running; part I has not classified it yet
     if (!O->CtorDone) {
@@ -182,6 +186,8 @@ void ConsistencyAuditor::auditTibs() {
     // agree with the class TIB, mutable slots follow the static-part rule.
     for (size_t S = 0; S < C.SpecialTibs.size(); ++S) {
       TIB *ST = C.SpecialTibs[S];
+      if (!ST)
+        continue; // hot state evicted under budget pressure (slot retired)
       if (ST->Cls != &C || ST->Imt != C.Imt ||
           ST->StateIndex != static_cast<int>(S)) {
         addViolation("tib.special-identity",

@@ -157,11 +157,18 @@ std::string ProgramGen::generate() {
   Model.Families.clear();
   Model.Opt1 = 30;
   Model.Opt2 = 120;
+  Model.Segments = 1;
+  Model.RetireAfterSeg = 0;
+  Model.ReinstallAfterSeg = 1;
   size_t NumFam = R.nextBool(0.6) ? 2 : 1;
   Model.Families.resize(NumFam);
   for (GenFamily &F : Model.Families)
     generateFamily(F);
   generateOps();
+  // Drawn last so the family/op stream for a given seed is unchanged from
+  // pre-segment corpora. Three segments = plan active, retired, re-installed.
+  if (R.nextBool(0.35))
+    Model.Segments = 3;
   return render();
 }
 
@@ -169,6 +176,10 @@ std::string ProgramGen::renderDirectives() const {
   std::string S;
   S += "#!adaptive " + itos(static_cast<int64_t>(Model.Opt1)) + " " +
        itos(static_cast<int64_t>(Model.Opt2)) + "\n";
+  if (Model.Segments > 1)
+    S += "#!segments " + itos(Model.Segments) + " retire=" +
+         itos(Model.RetireAfterSeg) + " reinstall=" +
+         itos(Model.ReinstallAfterSeg) + "\n";
   for (size_t FI = 0; FI < Model.Families.size(); ++FI) {
     const GenFamily &F = Model.Families[FI];
     std::string CN = "C" + itos(static_cast<int64_t>(FI));
@@ -325,15 +336,24 @@ void ProgramGen::renderFamily(std::string &S, size_t FamIdx) const {
 }
 
 void ProgramGen::renderDriver(std::string &S) const {
+  const size_t NumVars = Model.Families.size() * VarsPerFamily;
+  const int Segs = Model.Segments < 1 ? 1 : Model.Segments;
+
   S += "class Main {\n";
-  S += "  method main() -> i64 static {\n";
-  S += "    %acc = consti 0\n";
-  S += "    %one = consti 1\n";
+  if (Segs > 1) {
+    // Segments communicate through statics: the accumulator and every
+    // object variable slot round-trip the JTOC between seg<k>() calls, so
+    // invoking the segments back-to-back is identical to main()'s inlined
+    // sequence.
+    S += "  field acc: i64 static\n";
+    for (size_t V = 0; V < NumVars; ++V)
+      S += "  field o" + itos(static_cast<int64_t>(V)) + ": ref static\n";
+  }
 
   struct VarState {
     bool Init = false;
   };
-  std::vector<VarState> Vars(Model.Families.size() * VarsPerFamily);
+  std::vector<VarState> Vars(NumVars);
 
   int N = 0; // unique suffix for temporaries and labels
   auto Loop = [&](int64_t Count, const std::string &Body) {
@@ -349,9 +369,9 @@ void ProgramGen::renderDriver(std::string &S) const {
     S += "  @d" + T + ":\n";
   };
 
-  for (const GenOp &O : Model.Ops) {
+  auto RenderOp = [&](const GenOp &O) {
     if (O.Fam >= static_cast<int>(Model.Families.size()))
-      continue; // family shrunk away
+      return; // family shrunk away
     const GenFamily &F = Model.Families[static_cast<size_t>(O.Fam)];
     std::string CN = "C" + itos(O.Fam);
     std::string OV = "%o" + itos(O.Var);
@@ -368,47 +388,47 @@ void ProgramGen::renderDriver(std::string &S) const {
     }
     case GenOp::SetMode:
       if (!VarOk)
-        continue;
+        return;
       S += "    %t" + T + " = consti " + itos(O.Val) + "\n";
       S += "    callvirtual " + CN + ".setMode(" + OV + ", %t" + T + ")\n";
       break;
     case GenOp::SetMode2:
       if (!VarOk || !F.HasMode2)
-        continue;
+        return;
       S += "    %t" + T + " = consti " + itos(O.Val) + "\n";
       S += "    callvirtual " + CN + ".setMode2(" + OV + ", %t" + T + ")\n";
       break;
     case GenOp::SetStatic:
       if (!F.HasStaticState)
-        continue;
+        return;
       S += "    %t" + T + " = consti " + itos(O.Val) + "\n";
       S += "    putstatic " + CN + ".gmode, %t" + T + "\n";
       break;
     case GenOp::CallTick:
       if (!VarOk)
-        continue;
+        return;
       Loop(O.Count, "    callvirtual " + CN + ".tick(" + OV + ")\n");
       break;
     case GenOp::CallIface:
       if (!VarOk || !F.ImplementsWork)
-        continue;
+        return;
       Loop(O.Count, "    callinterface Work.tick(" + OV + ")\n");
       break;
     case GenOp::CallWide:
       if (!VarOk || !F.ImplementsWide)
-        continue;
+        return;
       Loop(O.Count, "    %r" + T + " = callinterface Wide.w" + itos(O.Val) +
                         "(" + OV + ")\n    %acc = add %acc, %r" + T + "\n");
       break;
     case GenOp::CallStatic:
       if (!F.HasStaticState)
-        continue;
+        return;
       Loop(O.Count, "    %r" + T + " = callstatic " + CN +
                         ".scale()\n    %acc = add %acc, %r" + T + "\n");
       break;
     case GenOp::CallGet:
       if (!VarOk)
-        continue;
+        return;
       S += "    %r" + T + " = callvirtual " + CN + ".get(" + OV + ")\n";
       S += "    %acc = add %acc, %r" + T + "\n";
       S += "    print %r" + T + "\n";
@@ -417,7 +437,7 @@ void ProgramGen::renderDriver(std::string &S) const {
       break;
     case GenOp::TypeTest:
       if (!VarOk || !F.HasSub)
-        continue;
+        return;
       S += "    %t" + T + " = instanceof " + OV + ", " + CN + "S\n";
       S += "    print %t" + T + "\n";
       S += "    cbz %t" + T + ", @sk" + T + "\n";
@@ -433,10 +453,53 @@ void ProgramGen::renderDriver(std::string &S) const {
       break;
     }
     ++N;
+  };
+
+  if (Segs == 1) {
+    S += "  method main() -> i64 static {\n";
+    S += "    %acc = consti 0\n";
+    S += "    %one = consti 1\n";
+    for (const GenOp &O : Model.Ops)
+      RenderOp(O);
+    S += "    print %acc\n";
+    S += "    ret %acc\n";
+    S += "  }\n}\n";
+    return;
   }
-  S += "    print %acc\n";
-  S += "    ret %acc\n";
-  S += "  }\n}\n";
+
+  // Segmented driver: contiguous op chunks per segment, state carried in
+  // the Main statics. VarOk tracking spans segments (Vars is shared), so an
+  // op may use an object allocated two segments earlier.
+  const size_t PerSeg = (Model.Ops.size() + static_cast<size_t>(Segs) - 1) /
+                        static_cast<size_t>(Segs);
+  for (int K = 0; K < Segs; ++K) {
+    S += "  method seg" + itos(K) + "() -> i64 static {\n";
+    S += "    %acc = getstatic Main.acc\n";
+    S += "    %one = consti 1\n";
+    for (size_t V = 0; V < NumVars; ++V)
+      S += "    %o" + itos(static_cast<int64_t>(V)) + " = getstatic Main.o" +
+           itos(static_cast<int64_t>(V)) + "\n";
+    for (size_t I = static_cast<size_t>(K) * PerSeg;
+         I < (static_cast<size_t>(K) + 1) * PerSeg && I < Model.Ops.size();
+         ++I)
+      RenderOp(Model.Ops[I]);
+    if (K == Segs - 1)
+      S += "    print %acc\n";
+    S += "    putstatic Main.acc, %acc\n";
+    for (size_t V = 0; V < NumVars; ++V)
+      S += "    putstatic Main.o" + itos(static_cast<int64_t>(V)) + ", %o" +
+           itos(static_cast<int64_t>(V)) + "\n";
+    S += "    ret %acc\n  }\n";
+  }
+  // main() calls every segment in order, so a plain `dchm_run exec` of the
+  // rendered file reproduces the harness's segment-by-segment output.
+  S += "  method main() -> i64 static {\n";
+  std::string Last;
+  for (int K = 0; K < Segs; ++K) {
+    Last = "%r" + itos(K);
+    S += "    " + Last + " = callstatic Main.seg" + itos(K) + "()\n";
+  }
+  S += "    ret " + Last + "\n  }\n}\n";
 }
 
 std::string ProgramGen::render() const {
@@ -476,6 +539,16 @@ std::string ProgramGen::minimize(
   int Rounds = 0;
   while (Changed && Rounds++ < 24) {
     Changed = false;
+    // Collapse a segmented driver first: one method is far easier to read,
+    // and most failures do not need the retire/re-install cycle.
+    if (Model.Segments > 1) {
+      int Saved = Model.Segments;
+      Model.Segments = 1;
+      if (StillFails(render()))
+        Changed = true;
+      else
+        Model.Segments = Saved;
+    }
     // Drop driver ops, largest index first so loops vanish before the News
     // they depend on.
     for (size_t I = Model.Ops.size(); I > 0; --I) {
@@ -566,6 +639,35 @@ bool ProgramGen::parsePlanDirectives(const std::string &Source, Program &P,
     if (Kind == "adaptive") {
       if (!(LS >> Out.Opt1 >> Out.Opt2))
         return Fail("#!adaptive wants two thresholds: " + Line);
+    } else if (Kind == "segments") {
+      int Segs = 0;
+      if (!(LS >> Segs) || Segs < 2 || Segs > 64)
+        return Fail("#!segments wants a count in [2,64]: " + Line);
+      Out.Segments = Segs;
+      std::string KV;
+      while (LS >> KV) {
+        size_t Eq = KV.find('=');
+        if (Eq == std::string::npos)
+          return Fail("#!segments wants retire=<k> reinstall=<m>: " + KV);
+        std::string Key = KV.substr(0, Eq);
+        int V = -1;
+        try {
+          V = std::stoi(KV.substr(Eq + 1));
+        } catch (...) {
+          return Fail("#!segments wants integer values: " + KV);
+        }
+        if (V < 0 || V >= Segs)
+          return Fail("#!segments index out of range: " + KV);
+        if (Key == "retire")
+          Out.RetireAfter = V;
+        else if (Key == "reinstall")
+          Out.ReinstallAfter = V;
+        else
+          return Fail("#!segments key must be retire/reinstall: " + Key);
+      }
+      if (Out.RetireAfter >= 0 && Out.ReinstallAfter >= 0 &&
+          Out.ReinstallAfter <= Out.RetireAfter)
+        return Fail("#!segments reinstall must come after retire: " + Line);
     } else if (Kind == "mutable") {
       std::string ClsName;
       LS >> ClsName;

@@ -93,6 +93,16 @@ struct GenOp {
 struct GenModel {
   uint64_t Seed = 0;
   uint64_t Opt1 = 30, Opt2 = 120; ///< adaptive promotion thresholds
+  /// With Segments > 1 the driver ops are split across `Main.seg<k>()`
+  /// static methods communicating through static fields, and `Main.main()`
+  /// calls them in order. A harness can instead invoke the segments one by
+  /// one and retire / re-install the mutation plan between them (the
+  /// `#!segments` directive says after which segment to do what) —
+  /// exercising plan retirement at a genuinely quiescent point. Output is
+  /// identical either way.
+  int Segments = 1;
+  int RetireAfterSeg = 0;    ///< retire the plan after this segment
+  int ReinstallAfterSeg = 1; ///< re-install it after this (later) segment
   std::vector<GenFamily> Families;
   std::vector<GenOp> Ops;
 };
@@ -102,6 +112,12 @@ struct GenModel {
 struct GenPlanInfo {
   MutationPlan Plan;
   uint64_t Opt1 = 0, Opt2 = 0; ///< 0 = directive absent, keep defaults
+  /// From `#!segments <n> retire=<k> reinstall=<m>`: drive Main.seg0..n-1
+  /// instead of Main.main, retiring the plan after segment k and
+  /// re-installing it after segment m. Segments == 1 means no directive.
+  int Segments = 1;
+  int RetireAfter = -1;
+  int ReinstallAfter = -1;
 };
 
 /// Seeded random MVM program generator with greedy shrinking.

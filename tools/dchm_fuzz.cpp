@@ -14,14 +14,23 @@
 //    transparency guarantee), and
 //  - zero consistency-auditor violations in every run.
 //
+// Segmented programs (#!segments directive) are driven one segment at a
+// time, retiring the mutation plan and later re-installing it at the
+// directive-specified boundaries; output must still match the mutation-off
+// run and the straight-line main() rendering.
+//
 // Failures serialize the offending program to fuzz-fail-<seed>.mvm, shrink
 // it with the greedy delta-minimizer, and print a dchm_run replay line.
-// Injection modes (--inject-skip-tib / --inject-skip-code) flip one
-// MutationDebugFlags fault on and require the auditor to catch the break,
-// replaying from the serialized artifact to prove reproduction.
+// Injection modes (--inject-skip-tib / --inject-skip-code /
+// --inject-partial-retire) flip one MutationDebugFlags fault on and require
+// the auditor to catch the break, replaying from the serialized artifact to
+// prove reproduction. --malformed=<n> corrupts each generated program
+// deterministically and asserts the toolchain returns diagnostics instead
+// of aborting the process.
 //
 //   dchm_fuzz [--n=<programs>] [--seed=<base>] [--stride=<k>]
 //             [--full-matrix] [--inject-skip-tib] [--inject-skip-code]
+//             [--inject-partial-retire] [--malformed=<n>]
 //
 //===----------------------------------------------------------------------===//
 
@@ -90,12 +99,19 @@ struct RunOutcome {
   RunMetrics M;
   uint64_t Violations = 0;
   std::string AuditReport;
+  /// Objects sitting on special TIBs at the moment retirePlan ran (0 when
+  /// the program is not segmented). Injection modes use it to decide
+  /// whether a skipped retirement swing could even strand anything.
+  uint64_t OnSpecialAtRetire = 0;
 };
 
 struct InjectFlags {
   bool SkipTibSwing = false;
   bool SkipCodePointerUpdate = false;
-  bool any() const { return SkipTibSwing || SkipCodePointerUpdate; }
+  bool SkipRetireSwing = false;
+  bool any() const {
+    return SkipTibSwing || SkipCodePointerUpdate || SkipRetireSwing;
+  }
 };
 
 RunOutcome runOne(const std::string &Source, const HostConfig &HC,
@@ -141,10 +157,42 @@ RunOutcome runOne(const std::string &Source, const HostConfig &HC,
   VM.mutation().debugFlags().SkipTibSwing = Inject.SkipTibSwing;
   VM.mutation().debugFlags().SkipCodePointerUpdate =
       Inject.SkipCodePointerUpdate;
+  VM.mutation().debugFlags().SkipRetireSwing = Inject.SkipRetireSwing;
   ConsistencyAuditor Auditor(VM, Stride);
   VM.setAuditHook(&Auditor);
 
-  Value Result = VM.call(Entry, {});
+  Value Result = valueI(0);
+  if (Gen.Segments > 1) {
+    // Drive the segments one by one (mutation off too, so both groups run
+    // the same code path), retiring and re-installing the plan at the
+    // directive boundaries when mutation is on. Segments communicate
+    // through Main statics, so this is output-identical to main().
+    std::vector<MethodId> Segs;
+    for (int K = 0; K < Gen.Segments; ++K) {
+      MethodId S = P.findMethod(MainCls, "seg" + std::to_string(K));
+      if (S == NoMethodId) {
+        Out.Error = "no Main.seg" + std::to_string(K);
+        return Out;
+      }
+      Segs.push_back(S);
+    }
+    for (int K = 0; K < Gen.Segments; ++K) {
+      Result = VM.call(Segs[static_cast<size_t>(K)], {});
+      if (!Opts.EnableMutation)
+        continue;
+      if (K == Gen.RetireAfter) {
+        VM.heap().forEachObject([&](Object *O) {
+          if (!O->IsArray && O->Tib && O->Tib->isSpecial())
+            ++Out.OnSpecialAtRetire;
+        });
+        VM.retireMutationPlan();
+      }
+      if (K == Gen.ReinstallAfter)
+        VM.setMutationPlan(&Gen.Plan); // re-install migrates live objects
+    }
+  } else {
+    Result = VM.call(Entry, {});
+  }
   Auditor.auditNow("end of run"); // final pass after the last transition
   Out.M = VM.metrics();
   Out.Output = VM.interp().output();
@@ -176,6 +224,91 @@ void writeArtifact(const std::string &Path, const std::string &Source) {
   Out << Source;
 }
 
+/// Deterministically damages a well-formed program: the corruption kind and
+/// position come from the seed, so failures replay. The result may still be
+/// valid (duplicating a comment line, say) — the assertion is only that the
+/// toolchain answers with a diagnostic or a program, never an abort.
+std::string corruptSource(const std::string &Source, Rng &R) {
+  std::string S = Source;
+  auto LineBounds = [&](size_t Pos, size_t &B, size_t &E) {
+    size_t Nl = S.rfind('\n', Pos);
+    B = Nl == std::string::npos ? 0 : Nl + 1;
+    Nl = S.find('\n', Pos);
+    E = Nl == std::string::npos ? S.size() : Nl + 1;
+  };
+  switch (R.nextBelow(6)) {
+  case 0: { // drop a whole line (missing ret, missing field, ...)
+    size_t B, E;
+    LineBounds(R.nextBelow(S.size()), B, E);
+    S.erase(B, E - B);
+    break;
+  }
+  case 1: // truncate mid-token
+    S.resize(R.nextBelow(S.size()));
+    break;
+  case 2: { // duplicate a line (redefinitions, duplicate labels)
+    size_t B, E;
+    LineBounds(R.nextBelow(S.size()), B, E);
+    S.insert(B, S.substr(B, E - B));
+    break;
+  }
+  case 3: { // bogus type token
+    size_t P = S.find("i64");
+    if (P != std::string::npos)
+      S.replace(P, 3, "i6F");
+    break;
+  }
+  case 4: { // garble a plan directive (assembles; directive parse must fail)
+    size_t P = S.find("#!");
+    if (P != std::string::npos)
+      S.insert(P + 2, "zz-");
+    break;
+  }
+  case 5: { // splice random bytes into the middle
+    size_t P = R.nextBelow(S.size());
+    S.insert(P, "\x01%%\xff @");
+    break;
+  }
+  }
+  return S;
+}
+
+/// --malformed mode: corrupt N generated programs and require the
+/// assembler / directive parser to reject or accept them gracefully.
+/// Surviving the loop without SIGABRT *is* the property under test.
+int runMalformed(uint64_t N, uint64_t SeedBase) {
+  uint64_t Rejected = 0, Accepted = 0;
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t Seed = SeedBase + I;
+    ProgramGen G(Seed);
+    std::string Source = G.generate();
+    Rng R(Seed * 2654435761ull + 17);
+    std::string Corrupt = corruptSource(Source, R);
+    AssemblyResult AR = assembleProgram(Corrupt);
+    if (!AR.ok()) {
+      if (AR.Error.empty()) {
+        std::fprintf(stderr,
+                     "FAIL seed=%llu: rejection carried no diagnostic\n",
+                     static_cast<unsigned long long>(Seed));
+        return 1;
+      }
+      ++Rejected;
+      continue;
+    }
+    // Still assembled — the directive parser must also stay recoverable.
+    GenPlanInfo Gen;
+    std::string Err;
+    ProgramGen::parsePlanDirectives(Corrupt, *AR.P, Gen, Err);
+    ++Accepted;
+  }
+  std::printf("fuzz: %llu corrupted programs, %llu rejected with "
+              "diagnostics, %llu still well-formed; no aborts\n",
+              static_cast<unsigned long long>(N),
+              static_cast<unsigned long long>(Rejected),
+              static_cast<unsigned long long>(Accepted));
+  return 0;
+}
+
 int reportFailure(ProgramGen &G, uint64_t Seed, const std::string &Source,
                   const std::string &Why,
                   const std::function<bool(const std::string &)> &StillFails) {
@@ -197,7 +330,7 @@ int reportFailure(ProgramGen &G, uint64_t Seed, const std::string &Source,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  uint64_t N = 50, SeedBase = 1, Stride = 4;
+  uint64_t N = 50, SeedBase = 1, Stride = 4, Malformed = 0;
   bool FullMatrix = false;
   InjectFlags Inject;
   for (int I = 1; I < Argc; ++I) {
@@ -208,17 +341,24 @@ int main(int Argc, char **Argv) {
       SeedBase = std::stoull(A.substr(7));
     else if (A.rfind("--stride=", 0) == 0)
       Stride = std::stoull(A.substr(9));
+    else if (A.rfind("--malformed=", 0) == 0)
+      Malformed = std::stoull(A.substr(12));
     else if (A == "--full-matrix")
       FullMatrix = true;
     else if (A == "--inject-skip-tib")
       Inject.SkipTibSwing = true;
     else if (A == "--inject-skip-code")
       Inject.SkipCodePointerUpdate = true;
+    else if (A == "--inject-partial-retire")
+      Inject.SkipRetireSwing = true;
     else {
       std::fprintf(stderr, "unknown flag %s\n", A.c_str());
       return 1;
     }
   }
+
+  if (Malformed)
+    return runMalformed(Malformed, SeedBase);
 
   std::vector<HostConfig> Matrix;
   if (FullMatrix)
@@ -235,7 +375,12 @@ int main(int Argc, char **Argv) {
     if (Inject.any()) {
       // Fault injection needs part I swings to actually happen, so skip
       // the static-only flavor for family 0 (no object ever swings there).
-      if (Inject.SkipTibSwing && G.model().Families[0].StaticOnlyPlan)
+      if ((Inject.SkipTibSwing || Inject.SkipRetireSwing) &&
+          G.model().Families[0].StaticOnlyPlan)
+        continue;
+      // A skipped retirement swing only strands something when the program
+      // actually retires mid-run, i.e. is segmented.
+      if (Inject.SkipRetireSwing && G.model().Segments <= 1)
         continue;
       // Prove the auditor catches the break *from the serialized artifact*:
       // write the program out, read it back, and run that byte stream.
@@ -252,6 +397,12 @@ int main(int Argc, char **Argv) {
                      static_cast<unsigned long long>(Seed),
                      Broken.Error.c_str());
         return 1;
+      }
+      if (Inject.SkipRetireSwing && Broken.OnSpecialAtRetire == 0) {
+        // Nothing was on a special TIB when the plan retired, so the
+        // skipped swing had nothing to strand: no violation expected.
+        std::remove(Path.c_str());
+        continue;
       }
       if (Broken.Violations == 0) {
         std::fprintf(stderr,

@@ -220,7 +220,9 @@ int cmdDisasm(Workload &W, const std::string &Spec, int State) {
 /// --mutate the file's #! plan directives (testing/ProgramGen) are parsed
 /// and installed; with --audit a ConsistencyAuditor rides along and the run
 /// fails on any invariant violation — together these replay fuzzer
-/// artifacts byte-for-byte (docs/fuzzing.md).
+/// artifacts byte-for-byte (docs/fuzzing.md). Segmented artifacts
+/// (#!segments) replay the retire / re-install harness. All failure paths
+/// are recoverable diagnostics (exit 1), never aborts.
 int cmdExec(const std::string &Path, const std::string &Entry,
             const std::vector<int64_t> &MainArgs, bool Mutate, bool AuditOn) {
   std::ifstream In(Path);
@@ -283,7 +285,44 @@ int cmdExec(const std::string &Path, const std::string &Entry,
   ConsistencyAuditor Auditor(VM);
   if (AuditOn)
     VM.setAuditHook(&Auditor);
-  Value Result = VM.call(M, Args);
+  Value Result = valueI(0);
+  if (Mutate && Gen.Segments > 1 && Args.empty()) {
+    // Segmented artifact: replay the fuzzer's harness exactly — drive the
+    // segments one at a time, retiring the plan and re-installing it at the
+    // #!segments boundaries instead of calling main().
+    ClassId MainCls = P.findClass("Main");
+    for (int K = 0; K < Gen.Segments; ++K) {
+      MethodId Seg = MainCls != NoClassId
+                         ? P.findMethod(MainCls, "seg" + std::to_string(K))
+                         : NoMethodId;
+      if (Seg == NoMethodId) {
+        std::fprintf(stderr, "%s: no Main.seg%d for #!segments replay\n",
+                     Path.c_str(), K);
+        return 1;
+      }
+      Expected<Value> V = VM.run(Seg, {});
+      if (!V) {
+        std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                     V.takeError().message().c_str());
+        return 1;
+      }
+      Result = *V;
+      if (!Opts.EnableMutation)
+        continue;
+      if (K == Gen.RetireAfter)
+        VM.retireMutationPlan();
+      if (K == Gen.ReinstallAfter)
+        VM.setMutationPlan(&Gen.Plan); // re-install migrates live objects
+    }
+  } else {
+    Expected<Value> V = VM.run(M, Args);
+    if (!V) {
+      std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                   V.takeError().message().c_str());
+      return 1;
+    }
+    Result = *V;
+  }
   if (!VM.interp().output().empty())
     std::printf("output: %s\n", VM.interp().output().c_str());
   if (P.method(M).RetTy == Type::I64)
