@@ -40,6 +40,18 @@ void AdaptiveSystem::onBackedge(MethodInfo &M) {
   maybePromote(M);
 }
 
+bool AdaptiveSystem::sampleConcurrent(MethodInfo &M) {
+  if (Cfg.SampleInterval > 1 &&
+      (EventTick.fetch_add(1, std::memory_order_relaxed) + 1) %
+              Cfg.SampleInterval !=
+          0)
+    return false;
+  uint64_t Samples = M.SampleCount.fetch_add(1, std::memory_order_relaxed) + 1;
+  int Level = M.CurOptLevel.load(std::memory_order_relaxed);
+  return (Level == 0 && Samples >= Cfg.Opt1Threshold) ||
+         (Level == 1 && Samples >= Cfg.Opt2Threshold);
+}
+
 void AdaptiveSystem::refreshMutableMethods() {
   if (!Plan)
     return;

@@ -75,6 +75,16 @@ public:
   /// Hotness sample on a loop back edge.
   void onBackedge(MethodInfo &M);
 
+  /// Multi-mutator sampling split: the lock-free half of a sample. Bumps
+  /// the decimation tick and the method's sample count with relaxed atomics
+  /// and returns true when the counts suggest a promotion — the caller then
+  /// re-runs the decision under a rendezvous via promoteStopped(), which
+  /// re-checks everything with the world stopped (the pre-check may be
+  /// stale; promoteStopped() is the arbiter).
+  bool sampleConcurrent(MethodInfo &M);
+  /// The promotion half: call only with the world stopped.
+  void promoteStopped(MethodInfo &M) { maybePromote(M); }
+
   /// For plans installed mid-run (the online pipeline): mutable methods that
   /// already reached a high opt level were compiled before the plan existed
   /// and have no specialized versions — recompile them at opt2 now so
@@ -93,7 +103,9 @@ private:
   const MutationPlan *Plan = nullptr;
   RecompileListener *Listener = nullptr;
   AdaptiveStats Stats;
-  uint64_t EventTick = 0;
+  /// Atomic for the multi-mutator sampling pre-check; single-mutator runs
+  /// touch it from one thread only, preserving the exact decimation stream.
+  std::atomic<uint64_t> EventTick{0};
   bool InRecompile = false;
 };
 

@@ -777,10 +777,17 @@ private:
       if (!failed())
         B.cbz(R, useLabel(C, L));
     } else if (N == "ret") {
-      if (bpeek(C).K == Tok::Reg)
-        B.ret(readReg(C));
-      else
+      if (bpeek(C).K == Tok::Reg) {
+        Reg V = readReg(C);
+        if (B.retTy() == Type::Void)
+          error(Op, "value return from void method");
+        else
+          B.ret(V);
+      } else if (B.retTy() != Type::Void) {
+        error(Op, "void return from non-void method");
+      } else {
         B.retVoid();
+      }
     } else if (N == "callvirtual" || N == "callstatic" ||
                N == "callspecial" || N == "callinterface") {
       assembleCall(C, N, nullptr);

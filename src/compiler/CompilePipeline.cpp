@@ -10,10 +10,9 @@
 #include "compiler/Passes.h"
 #include "runtime/CompiledMethod.h"
 #include "support/Debug.h"
+#include "support/Env.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <cstring>
 
 #if defined(__linux__)
 #include <sys/resource.h>
@@ -42,37 +41,19 @@ void CompilePipeline::configure(const Config &C) {
 }
 
 CompilePipeline::Config CompilePipeline::configFromEnv(Config Defaults) {
+  // All knobs come from the support/Env.h registry (one table, one parser;
+  // ranges like 1..64 compile threads live in the table too).
   Config C = Defaults;
-  if (const char *E = std::getenv("DCHM_ASYNC_COMPILE")) {
-    C.Async = !(std::strcmp(E, "OFF") == 0 || std::strcmp(E, "off") == 0 ||
-                std::strcmp(E, "0") == 0 || std::strcmp(E, "false") == 0);
-  }
-  if (const char *E = std::getenv("DCHM_COMPILE_THREADS")) {
-    long N = std::strtol(E, nullptr, 10);
-    if (N >= 1 && N <= 64)
-      C.Threads = static_cast<unsigned>(N);
-  }
-  if (const char *E = std::getenv("DCHM_COMPILE_FAULT_EVERY")) {
-    long N = std::strtol(E, nullptr, 10);
-    if (N >= 0)
-      C.FaultEvery = static_cast<unsigned>(N);
-  }
-  if (const char *E = std::getenv("DCHM_COMPILE_FAULT_PERSIST")) {
-    C.FaultPersist = !(std::strcmp(E, "OFF") == 0 ||
-                       std::strcmp(E, "off") == 0 ||
-                       std::strcmp(E, "0") == 0 ||
-                       std::strcmp(E, "false") == 0);
-  }
-  if (const char *E = std::getenv("DCHM_COMPILE_MAX_ATTEMPTS")) {
-    long N = std::strtol(E, nullptr, 10);
-    if (N >= 1 && N <= 100)
-      C.MaxAttempts = static_cast<unsigned>(N);
-  }
-  if (const char *E = std::getenv("DCHM_COMPILE_DEADLINE_MS")) {
-    long N = std::strtol(E, nullptr, 10);
-    if (N >= 0)
-      C.DeadlineMs = static_cast<unsigned>(N);
-  }
+  C.Async = env::boolOr("DCHM_ASYNC_COMPILE", C.Async);
+  C.Threads =
+      static_cast<unsigned>(env::intOr("DCHM_COMPILE_THREADS", C.Threads));
+  C.FaultEvery = static_cast<unsigned>(
+      env::intOr("DCHM_COMPILE_FAULT_EVERY", C.FaultEvery));
+  C.FaultPersist = env::boolOr("DCHM_COMPILE_FAULT_PERSIST", C.FaultPersist);
+  C.MaxAttempts = static_cast<unsigned>(
+      env::intOr("DCHM_COMPILE_MAX_ATTEMPTS", C.MaxAttempts));
+  C.DeadlineMs = static_cast<unsigned>(
+      env::intOr("DCHM_COMPILE_DEADLINE_MS", C.DeadlineMs));
   return C;
 }
 
@@ -145,8 +126,9 @@ void CompilePipeline::waitFor(CompiledMethod &CM) {
   if (CM.ready())
     return;
   DCHM_CHECK(Cfg.Async, "pending compiled method with a synchronous pipeline");
-  Stats.UrgentWaits++;
   std::unique_lock<std::mutex> L(Mu);
+  // Counted under Mu: several blocked mutators may arrive here concurrently.
+  Stats.UrgentWaits++;
   for (Job &J : Queue)
     if (J.CM == &CM) {
       J.Pr = CompilePriority::Urgent;

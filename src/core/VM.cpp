@@ -8,26 +8,29 @@
 #include "core/VM.h"
 
 #include "support/Debug.h"
+#include "support/Env.h"
 
-#include <cstdlib>
-#include <cstring>
+#include <thread>
 #include <unordered_set>
 
 namespace dchm {
 
 namespace {
-/// Resolves a HostToggle: Auto defers to the named environment variable,
-/// falling back to Default when it is unset.
+/// Resolves a HostToggle: Auto defers to the named environment variable
+/// (support/Env.h registry), falling back to Default when it is unset.
 bool resolveToggle(HostToggle T, const char *EnvVar, bool Default) {
   if (T == HostToggle::On)
     return true;
   if (T == HostToggle::Off)
     return false;
-  if (const char *E = std::getenv(EnvVar))
-    return !(std::strcmp(E, "OFF") == 0 || std::strcmp(E, "off") == 0 ||
-             std::strcmp(E, "0") == 0 || std::strcmp(E, "false") == 0);
-  return Default;
+  return env::boolOr(EnvVar, Default);
 }
+
+/// The safepoint slot of the current mutator thread, if runMutators bound
+/// one. VMCallbacks carry no thread identity, so the blocked-scope wrappers
+/// (waitForCode) find their slot here. Null single-mutator and on host
+/// threads — all slot-dependent paths then compile down to the old code.
+thread_local SafepointSlot *TlsSlot = nullptr;
 } // namespace
 
 VirtualMachine::VirtualMachine(Program &P, const VMOptions &Opts)
@@ -43,10 +46,8 @@ VirtualMachine::VirtualMachine(Program &P, const VMOptions &Opts)
   bool Cache =
       resolveToggle(Opts.SpecializationCache, "DCHM_SPEC_CACHE", true);
   unsigned Threads = Opts.CompileThreads;
-  if (Threads == 0) {
-    CompilePipeline::Config C = CompilePipeline::configFromEnv({true, 2});
-    Threads = C.Threads;
-  }
+  if (Threads == 0)
+    Threads = static_cast<unsigned>(env::intOr("DCHM_COMPILE_THREADS", 2));
   Compiler.configure(Async, Threads, Cache);
   Mutation.setCompiler(&Compiler);
   Mutation.setHeap(&TheHeap);
@@ -54,43 +55,67 @@ VirtualMachine::VirtualMachine(Program &P, const VMOptions &Opts)
   // DCHM_CODE_BUDGET (bytes), else unlimited.
   size_t Budget = Opts.CodeBudgetBytes;
   if (Budget == 0)
-    if (const char *E = std::getenv("DCHM_CODE_BUDGET")) {
-      long long N = std::strtoll(E, nullptr, 10);
-      if (N > 0)
-        Budget = static_cast<size_t>(N);
-    }
+    Budget = static_cast<size_t>(env::intOr("DCHM_CODE_BUDGET", 0));
   Mutation.setCodeBudget(Budget);
-  Interp = std::make_unique<Interpreter>(P, TheHeap, *this, Opts.Dispatch,
-                                         Opts.InlineCaches, Opts.FrameArena);
-  Interp->setInlineSampling(Opts.Adaptive.SampleInterval == 1);
+  // Mutator thread count: explicit option, then DCHM_THREADS, default 1.
+  NThreads = Opts.MutatorThreads;
+  if (NThreads == 0)
+    NThreads = static_cast<unsigned>(env::intOr("DCHM_THREADS", 1));
+  NThreads = std::max(1u, NThreads);
+  // Inline caches live in shared CompiledMethod objects; with concurrent
+  // mutators every site would be a cross-thread race, so N>1 forces them
+  // off (docs/threads.md).
+  bool ICs = Opts.InlineCaches && NThreads == 1;
+  Interps.reserve(NThreads);
+  for (unsigned T = 0; T < NThreads; ++T) {
+    Interps.push_back(std::make_unique<Interpreter>(
+        P, TheHeap, *this, Opts.Dispatch, ICs, Opts.FrameArena));
+    Interps.back()->setInlineSampling(Opts.Adaptive.SampleInterval == 1);
+  }
   TheHeap.setRootProvider(this);
+  if (NThreads > 1) {
+    TheHeap.setConcurrent(true);
+    TheHeap.setSafepointExecutor(
+        [this](const std::function<void()> &Fn) { Safepoints.run(Fn); });
+  }
   AuditOn = resolveToggle(Opts.AuditConsistency, "DCHM_AUDIT", false);
 }
 
 void VirtualMachine::setAuditHook(AuditHook *H) {
   if (!AuditOn && H)
     return;
-  Interp->setAuditHook(H);
+  for (auto &I : Interps)
+    I->setAuditHook(H);
   Mutation.setAuditHook(H);
+}
+
+void VirtualMachine::atSafepoint(const std::function<void()> &Fn) {
+  if (NThreads > 1)
+    Safepoints.run(Fn);
+  else
+    Fn(); // one mutator: any host call out of the interpreter is the world
+          // stopped, exactly the pre-refactor semantics
 }
 
 void VirtualMachine::setMutationPlan(const MutationPlan *Plan) {
   if (!Opts.EnableMutation || !Plan || Plan->empty())
     return;
-  Mutation.installPlan(*Plan);
-  Adaptive.setPlan(Plan);
-  Adaptive.setRecompileListener(&Mutation);
-  Compiler.setPlan(Plan);
-  MutationActive = true;
-  // Installation is stop-the-world and includes re-classing objects that
-  // already exist (mid-run activation or re-install after retirement). It
-  // must happen before the budget check and the recompilation refresh so
-  // their audit notifications never observe a half-installed heap.
-  Mutation.migrateExistingObjects(TheHeap);
-  Mutation.enforceBudget();
-  // Online installation: methods that got hot before the plan existed need
-  // their specialized versions generated now.
-  Adaptive.refreshMutableMethods();
+  atSafepoint([&] {
+    Mutation.installPlan(*Plan);
+    Adaptive.setPlan(Plan);
+    Adaptive.setRecompileListener(&Mutation);
+    Compiler.setPlan(Plan);
+    MutationActive = true;
+    // Installation is stop-the-world and includes re-classing objects that
+    // already exist (mid-run activation or re-install after retirement). It
+    // must happen before the budget check and the recompilation refresh so
+    // their audit notifications never observe a half-installed heap.
+    Mutation.migrateExistingObjects(TheHeap);
+    Mutation.enforceBudget();
+    // Online installation: methods that got hot before the plan existed need
+    // their specialized versions generated now.
+    Adaptive.refreshMutableMethods();
+  });
 }
 
 void VirtualMachine::setOlcDatabase(const OlcDatabase *Db) {
@@ -100,33 +125,82 @@ void VirtualMachine::setOlcDatabase(const OlcDatabase *Db) {
 bool VirtualMachine::retireMutationPlan() {
   if (!MutationActive || !Mutation.plan())
     return false;
-  // Pending specialized shells must publish their bodies before they can be
-  // handed to reclamation — the drain must never race a finalizeCode.
-  Compiler.sync();
-  Mutation.retirePlan(TheHeap);
-  Adaptive.setPlan(nullptr);
-  Adaptive.setRecompileListener(nullptr);
-  Compiler.setPlan(nullptr);
-  MutationActive = false;
-  reclaimRetired();
+  atSafepoint([&] {
+    // Pending specialized shells must publish their bodies before they can
+    // be handed to reclamation — the drain must never race a finalizeCode.
+    Compiler.sync();
+    Mutation.retirePlan(TheHeap);
+    Adaptive.setPlan(nullptr);
+    Adaptive.setRecompileListener(nullptr);
+    Compiler.setPlan(nullptr);
+    MutationActive = false;
+    reclaimRetired(); // re-entrant atSafepoint: runs inline
+  });
   return true;
 }
 
 void VirtualMachine::reclaimRetired() {
-  // Epoch-based safety: with a live frame, a return address may still point
-  // into a retired body; wait for the next top-level quiescent call.
-  if (Interp->liveFrames() != 0)
-    return;
-  std::unordered_set<const TIB *> InUse;
-  TheHeap.forEachObject([&](Object *O) {
-    if (O->Tib)
-      InUse.insert(O->Tib);
+  atSafepoint([&] {
+    // Epoch-based safety: with a live frame on any mutator, a return
+    // address may still point into a retired body; wait for the next
+    // quiescent call. A parked mutator mid-invocation keeps its frames, so
+    // this naturally defers until every context is at top level.
+    for (auto &I : Interps)
+      if (I->liveFrames() != 0)
+        return;
+    std::unordered_set<const TIB *> InUse;
+    TheHeap.forEachObject([&](Object *O) {
+      if (O->Tib)
+        InUse.insert(O->Tib);
+    });
+    P.drainReclaimList(InUse);
   });
-  P.drainReclaimList(InUse);
 }
 
 Value VirtualMachine::call(MethodId M, const std::vector<Value> &Args) {
-  return Interp->invoke(M, Args);
+  return Interps[0]->invoke(M, Args);
+}
+
+Value VirtualMachine::callOn(unsigned T, MethodId M,
+                             const std::vector<Value> &Args) {
+  DCHM_CHECK(T < NThreads, "callOn: no such mutator context");
+  return Interps[T]->invoke(M, Args);
+}
+
+void VirtualMachine::runMutators(const std::function<void(unsigned)> &Body) {
+  if (NThreads == 1) {
+    Body(0); // no threads, no protocol: the classic path
+    return;
+  }
+  // Heap caches are created up front from this thread so the cache registry
+  // never changes while mutators run (it is only walked world-stopped).
+  std::vector<Heap::ThreadCache *> Caches(NThreads);
+  for (unsigned T = 0; T < NThreads; ++T)
+    Caches[T] = TheHeap.registerMutator();
+
+  auto Mutator = [&](unsigned T) {
+    TheHeap.bindMutator(Caches[T]);
+    SafepointSlot *Slot = Safepoints.registerThread();
+    Interps[T]->setSafepointSlot(Slot);
+    TlsSlot = Slot;
+    Body(T);
+    TlsSlot = nullptr;
+    Interps[T]->setSafepointSlot(nullptr);
+    // Fold this thread's allocation buffer with the world stopped, then
+    // leave the protocol. Order matters: after unregisterThread this thread
+    // no longer polls, so it must not touch anything shared — it only
+    // joins/exits — or a leader would wait on it forever.
+    Safepoints.run([&] { TheHeap.unregisterMutator(Caches[T]); });
+    Safepoints.unregisterThread(Slot);
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(NThreads - 1);
+  for (unsigned T = 1; T < NThreads; ++T)
+    Threads.emplace_back(Mutator, T);
+  Mutator(0);
+  for (std::thread &Th : Threads)
+    Th.join();
 }
 
 Expected<Value> VirtualMachine::run(MethodId M, const std::vector<Value> &Args) {
@@ -150,7 +224,13 @@ Expected<Value> VirtualMachine::run(MethodId M, const std::vector<Value> &Args) 
 }
 
 uint64_t VirtualMachine::totalCycles() const {
-  return Interp->stats().Cycles + Compiler.stats().TotalCompileCycles +
+  // Multi-mutator runs read this per-thread clock mid-run too; other
+  // contexts' counters are only exact at joins/safepoints, which is fine
+  // for pacing (docs/threads.md).
+  uint64_t Exec = 0;
+  for (const auto &I : Interps)
+    Exec += I->stats().Cycles;
+  return Exec + Compiler.stats().TotalCompileCycles +
          TheHeap.stats().GcCycles + Mutation.stats().ExtraCycles;
 }
 
@@ -158,7 +238,13 @@ RunMetrics VirtualMachine::metrics() {
   // Finalize in-flight background compiles so byte counters are complete.
   Compiler.sync();
   RunMetrics M;
-  M.ExecCycles = Interp->stats().Cycles;
+  // Per-thread counters merge deterministically: contexts are summed in
+  // thread-index order after the mutators joined.
+  for (const auto &I : Interps) {
+    M.ExecCycles += I->stats().Cycles;
+    M.Insts += I->stats().Insts;
+    M.Invocations += I->stats().Invocations;
+  }
   M.CompileCycles = Compiler.stats().TotalCompileCycles;
   M.SpecialCompileCycles = Compiler.stats().SpecialCompileCycles;
   M.GcCycles = TheHeap.stats().GcCycles;
@@ -172,9 +258,22 @@ RunMetrics VirtualMachine::metrics() {
   M.SpecialCompileRequests = Compiler.stats().SpecialCompileRequests;
   M.SpecialCacheHits = Compiler.stats().SpecialCacheHits;
   M.GcCount = TheHeap.stats().GcCount;
-  M.Insts = Interp->stats().Insts;
-  M.Invocations = Interp->stats().Invocations;
-  M.OutputHash = Interp->outputHash();
+  if (NThreads == 1) {
+    M.OutputHash = Interps[0]->outputHash();
+  } else {
+    // Combined fingerprint: FNV-1a over the per-thread hashes in thread
+    // order. Each per-thread hash is deterministic given the seed; the
+    // combination is therefore deterministic too.
+    uint64_t H = 1469598103934665603ull;
+    for (const auto &I : Interps) {
+      uint64_t X = I->outputHash();
+      for (int B = 0; B < 8; ++B) {
+        H ^= (X >> (8 * B)) & 0xFFu;
+        H *= 1099511628211ull;
+      }
+    }
+    M.OutputHash = H;
+  }
   M.Mutation = Mutation.stats();
   M.Adaptive = Adaptive.stats();
   M.Inlining = Compiler.stats().Inlining;
@@ -182,14 +281,47 @@ RunMetrics VirtualMachine::metrics() {
 }
 
 CompiledMethod *VirtualMachine::ensureCompiled(MethodInfo &M) {
+  if (NThreads > 1) {
+    // Already-compiled is the overwhelmingly common case after warmup; the
+    // plain read is safe because General is only written under a rendezvous
+    // (while this thread is parked), and a stale-by-one-promotion body is
+    // legitimate code to run (frames keep executing replaced bodies anyway).
+    if (CompiledMethod *CM = M.General)
+      return CM;
+    CompiledMethod *CM = nullptr;
+    Safepoints.run([&] { CM = Adaptive.ensureCompiled(M); });
+    return CM;
+  }
   return Adaptive.ensureCompiled(M);
 }
 
-void VirtualMachine::waitForCode(CompiledMethod &CM) { Compiler.waitFor(CM); }
+void VirtualMachine::waitForCode(CompiledMethod &CM) {
+  // A thread waiting on the compile pipeline counts as stopped for a
+  // rendezvous; the scope re-parks on exit if a leader still holds the
+  // world. No-op single-mutator.
+  SafepointBlockedScope Blocked(TlsSlot);
+  Compiler.waitFor(CM);
+}
 
-void VirtualMachine::onMethodEntry(MethodInfo &M) { Adaptive.onMethodEntry(M); }
+void VirtualMachine::onMethodEntry(MethodInfo &M) {
+  if (NThreads > 1) {
+    // Lock-free sampling; promotion (a dispatch-structure write) re-checks
+    // and runs with the world stopped.
+    if (Adaptive.sampleConcurrent(M))
+      Safepoints.run([&] { Adaptive.promoteStopped(M); });
+    return;
+  }
+  Adaptive.onMethodEntry(M);
+}
 
-void VirtualMachine::onBackedge(MethodInfo &M) { Adaptive.onBackedge(M); }
+void VirtualMachine::onBackedge(MethodInfo &M) {
+  if (NThreads > 1) {
+    if (Adaptive.sampleConcurrent(M))
+      Safepoints.run([&] { Adaptive.promoteStopped(M); });
+    return;
+  }
+  Adaptive.onBackedge(M);
+}
 
 void VirtualMachine::onInstanceStateStore(Object *O, FieldInfo &F,
                                           bool DuringConstruction) {
@@ -198,6 +330,9 @@ void VirtualMachine::onInstanceStateStore(Object *O, FieldInfo &F,
   // pollute the value profile with partial tuples.
   if (DuringConstruction)
     return;
+  // Part I's instance half runs concurrently in multi-mutator mode: it
+  // touches only the receiver (thread-confined by the guest threading
+  // contract, docs/threads.md) plus atomic counters.
   if (MutationActive)
     Mutation.onInstanceStateStore(O, F);
   if (Observer)
@@ -205,8 +340,14 @@ void VirtualMachine::onInstanceStateStore(Object *O, FieldInfo &F,
 }
 
 void VirtualMachine::onStaticStateStore(FieldInfo &F) {
-  if (MutationActive)
-    Mutation.onStaticStateStore(F);
+  if (MutationActive) {
+    // The static half of part I re-points shared dispatch structures
+    // (TIB/JTOC code pointers): stop the world first when there is one.
+    if (NThreads > 1)
+      Safepoints.run([&] { Mutation.onStaticStateStore(F); });
+    else
+      Mutation.onStaticStateStore(F);
+  }
   if (Observer)
     Observer->observeStaticStore(F);
 }
@@ -223,7 +364,8 @@ void VirtualMachine::onConstructorExit(Object *O, MethodInfo &Ctor) {
 }
 
 void VirtualMachine::enumerateRoots(std::vector<Object *> &Roots) {
-  Interp->enumerateRoots(Roots);
+  for (auto &I : Interps)
+    I->enumerateRoots(Roots);
   for (uint32_t S = 0; S < P.numStaticSlots(); ++S)
     if (P.staticSlotType(S) == Type::Ref && P.getStaticSlot(S).R)
       Roots.push_back(P.getStaticSlot(S).R);

@@ -34,9 +34,12 @@
 #include "mutation/MutationManager.h"
 #include "runtime/Heap.h"
 #include "runtime/Program.h"
+#include "runtime/Safepoint.h"
 #include "support/Error.h"
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 namespace dchm {
 
@@ -77,6 +80,14 @@ struct VMOptions {
   /// environment; unset there too means unlimited. Under pressure the
   /// mutation engine demotes the coldest hot states to general code.
   size_t CodeBudgetBytes = 0;
+  /// Number of application (mutator) threads (docs/threads.md). 0 defers to
+  /// DCHM_THREADS in the environment (default 1). At 1 every code path is
+  /// the single-mutator path — bit-identical output, cycle counters and
+  /// fingerprints. At N>1 the safepoint rendezvous protocol activates,
+  /// each mutator context gets its own interpreter and heap allocation
+  /// buffer, and per-call-site inline caches are forced off (cache sites
+  /// live in shared CompiledMethod objects).
+  unsigned MutatorThreads = 0;
 };
 
 /// Everything the experiment harness reads after (or during) a run.
@@ -157,8 +168,38 @@ public:
   /// rather than dangling). Safe to call any time; no-op when unsafe.
   void reclaimRetired();
 
-  /// Invokes a method (receiver first for instance methods).
+  /// Invokes a method (receiver first for instance methods) on mutator
+  /// context 0.
   Value call(MethodId M, const std::vector<Value> &Args);
+
+  // --- Multi-mutator mode (docs/threads.md) --------------------------------
+  /// Resolved mutator thread count (>= 1).
+  unsigned mutatorThreads() const { return NThreads; }
+  bool multiMutator() const { return NThreads > 1; }
+
+  /// Runs Body(t) for t in [0, mutatorThreads()): t=0 on the calling
+  /// thread, the rest on freshly spawned threads, each bound to its own
+  /// interpreter, heap allocation buffer, and safepoint slot. Returns after
+  /// every mutator finished and folded its thread-local state. With one
+  /// mutator this is exactly Body(0) — no threads, no protocol.
+  ///
+  /// Reference arguments passed to callOn() from inside Body must be rooted
+  /// host-side (LocalRootScope registered before runMutators): the callee
+  /// frame does not exist yet when a leader could collect.
+  void runMutators(const std::function<void(unsigned)> &Body);
+
+  /// call() on a specific mutator context. Only call T from the thread
+  /// runMutators bound to T (context 0 also works outside runMutators).
+  Value callOn(unsigned T, MethodId M, const std::vector<Value> &Args);
+
+  /// Runs Fn with every mutator stopped: a plain call at N=1, a safepoint
+  /// rendezvous (leader = calling thread) at N>1. Re-entrant from inside a
+  /// closure. This is how every stop-the-world operation — plan install and
+  /// retirement, budget eviction, GC, code reclamation, audits — is phrased
+  /// now that "the world" can be more than one thread.
+  void atSafepoint(const std::function<void()> &Fn);
+
+  SafepointManager &safepoints() { return Safepoints; }
 
   /// Validating, recoverable-error front end to call(): rejects bad entry
   /// points and argument lists with a VMError instead of aborting, and
@@ -178,7 +219,9 @@ public:
 
   Program &program() { return P; }
   Heap &heap() { return TheHeap; }
-  Interpreter &interp() { return *Interp; }
+  Interpreter &interp() { return *Interps[0]; }
+  /// Interpreter of mutator context T.
+  Interpreter &interp(unsigned T) { return *Interps[T]; }
   OptCompiler &compiler() { return Compiler; }
   AdaptiveSystem &adaptive() { return Adaptive; }
   MutationManager &mutation() { return Mutation; }
@@ -204,7 +247,11 @@ private:
   OptCompiler Compiler;
   AdaptiveSystem Adaptive;
   MutationManager Mutation;
-  std::unique_ptr<Interpreter> Interp;
+  /// One interpreter per mutator context; [0] is the classic single-mutator
+  /// interpreter every existing API routes through.
+  std::vector<std::unique_ptr<Interpreter>> Interps;
+  SafepointManager Safepoints;
+  unsigned NThreads = 1; ///< resolved MutatorThreads / DCHM_THREADS
   StateObserver *Observer = nullptr;
   bool MutationActive = false;
   bool AuditOn = false;

@@ -37,6 +37,7 @@
 #include "runtime/AuditHook.h"
 #include "runtime/Heap.h"
 #include "runtime/Program.h"
+#include "runtime/Safepoint.h"
 
 #include <string>
 #include <vector>
@@ -98,6 +99,13 @@ public:
   /// structures are quiescent). Null detaches. The hook must not modify
   /// simulated state; see runtime/AuditHook.h.
   void setAuditHook(AuditHook *H) { Audit = H; }
+
+  /// Attaches this interpreter (= this mutator thread) to its rendezvous
+  /// slot. The inner loop then polls the slot's flag at invocation
+  /// boundaries and backedges and parks when a leader holds the world.
+  /// Null (the single-mutator default) compiles the polls away to nothing.
+  void setSafepointSlot(SafepointSlot *S) { Sp = S; }
+  SafepointSlot *safepointSlot() const { return Sp; }
 
   /// Appends the receiver of every constructor frame currently on the
   /// stack. The consistency auditor exempts these objects from the strict
@@ -173,6 +181,7 @@ private:
   std::vector<Value> RegArena;
   size_t ArenaTop = 0;
   AuditHook *Audit = nullptr;
+  SafepointSlot *Sp = nullptr;
   bool UseThreaded = false;
   bool UseICs = true;
   bool UseArena = true;

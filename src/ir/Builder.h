@@ -124,6 +124,9 @@ public:
   /// Declared type of an allocated register.
   Type regType(Reg R) const { return F.RegTypes.at(R); }
 
+  /// Declared return type of the function under construction.
+  Type retTy() const { return F.RetTy; }
+
   /// Patches labels and returns the finished function. The builder must not
   /// be used afterwards. All labels must be bound and the last instruction
   /// must be a terminator.

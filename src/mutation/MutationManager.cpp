@@ -19,14 +19,15 @@ void MutationManager::installPlan(const MutationPlan &Plan) {
   DCHM_CHECK(!Installed, "mutation plan installed twice");
   DCHM_CHECK(P.isLinked(), "install plan after linking");
   Installed = &Plan;
-  SwingIns.assign(Plan.Classes.size(), {});
+  SwingIns.clear();
+  SwingIns.resize(Plan.Classes.size());
 
   for (size_t Idx = 0; Idx < Plan.Classes.size(); ++Idx) {
     const MutableClassPlan &CP = Plan.Classes[Idx];
     ClassInfo &C = P.cls(CP.Cls);
     DCHM_CHECK(C.MutableIndex < 0, "class appears twice in the plan");
     C.MutableIndex = static_cast<int>(Idx);
-    SwingIns[Idx].assign(CP.HotStates.size(), 0);
+    SwingIns[Idx] = std::vector<std::atomic<uint64_t>>(CP.HotStates.size());
 
     for (FieldId F : CP.InstanceStateFields) {
       DCHM_CHECK(!P.field(F).IsStatic, "instance state field is static");

@@ -146,7 +146,22 @@ public:
   // --- Algorithm part II (RecompileListener) --------------------------------
   void onMutableMethodRecompiled(MethodInfo &M) override;
 
-  const MutationStats &stats() const { return Stats; }
+  /// Snapshot of the activity counters. By value: the internal counters are
+  /// atomics (part I instance triggers run concurrently on every mutator
+  /// thread), so callers get a plain consistent-enough copy. Exact totals
+  /// at N=1 or with the world stopped.
+  MutationStats stats() const {
+    MutationStats S;
+    S.ObjectTibSwings = Stats.ObjectTibSwings.load(std::memory_order_relaxed);
+    S.CodePointerUpdates =
+        Stats.CodePointerUpdates.load(std::memory_order_relaxed);
+    S.StateMatches = Stats.StateMatches.load(std::memory_order_relaxed);
+    S.StateMisses = Stats.StateMisses.load(std::memory_order_relaxed);
+    S.ExtraCycles = Stats.ExtraCycles.load(std::memory_order_relaxed);
+    S.PlanRetirements = Stats.PlanRetirements.load(std::memory_order_relaxed);
+    S.StateEvictions = Stats.StateEvictions.load(std::memory_order_relaxed);
+    return S;
+  }
 
 private:
   /// Index of the hot state whose *instance* part matches O's current field
@@ -178,17 +193,32 @@ private:
       Audit->onMutationTransition(Where);
   }
 
+  /// MutationStats with atomic fields: the instance-state half of part I
+  /// runs concurrently on every mutator thread (it touches only the
+  /// receiver object plus these counters), while everything that writes a
+  /// shared dispatch structure runs under a rendezvous.
+  struct AtomicMutationStats {
+    std::atomic<uint64_t> ObjectTibSwings{0};
+    std::atomic<uint64_t> CodePointerUpdates{0};
+    std::atomic<uint64_t> StateMatches{0};
+    std::atomic<uint64_t> StateMisses{0};
+    std::atomic<uint64_t> ExtraCycles{0};
+    std::atomic<uint64_t> PlanRetirements{0};
+    std::atomic<uint64_t> StateEvictions{0};
+  };
+
   Program &P;
   const MutationPlan *Installed = nullptr;
   OptCompiler *Compiler = nullptr;
   Heap *TheHeap = nullptr;
   AuditHook *Audit = nullptr;
   MutationDebugFlags Debug;
-  MutationStats Stats;
+  AtomicMutationStats Stats;
   size_t CodeBudgetBytes = 0; ///< 0 = unlimited
   /// Benefit signal for eviction ranking: per (plan entry, hot state)
-  /// count of part I swings *into* the state. Simulated-deterministic.
-  std::vector<std::vector<uint64_t>> SwingIns;
+  /// count of part I swings *into* the state. Simulated-deterministic at
+  /// N=1; atomic because concurrent mutators bump it in part I.
+  std::vector<std::vector<std::atomic<uint64_t>>> SwingIns;
 };
 
 } // namespace dchm

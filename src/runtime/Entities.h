@@ -22,6 +22,7 @@
 #include "ir/Ids.h"
 #include "runtime/CompiledMethod.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -96,11 +97,15 @@ struct MethodInfo {
   /// (empty when the method is not mutable or not yet opt2-compiled).
   std::vector<CompiledMethod *> Specials;
   /// Highest optimization level compiled so far (-1: only the stub exists).
-  int CurOptLevel = -1;
+  /// Atomic: concurrent mutators read it in the sampling pre-check while a
+  /// rendezvous leader promotes; stores happen with the world stopped.
+  std::atomic<int> CurOptLevel{-1};
 
   /// Hotness samples, shared between the general and all special compiled
   /// methods so specialization does not dilute hotness (paper section 3.2.3).
-  uint64_t SampleCount = 0;
+  /// Relaxed increments from every mutator thread; exact totals are only
+  /// meaningful single-threaded or at a safepoint.
+  std::atomic<uint64_t> SampleCount{0};
   /// Marked by the mutation engine: this method is a mutable method of a
   /// mutable class (candidate for per-state specialization).
   bool IsMutable = false;

@@ -25,11 +25,18 @@ constexpr uint64_t GcMarkCyclesPerObject = 24;
 constexpr uint64_t GcSweepCyclesPerObject = 6;
 } // namespace
 
+namespace {
+/// The cache the current thread allocates through, if any. Validated against
+/// the owning heap so multiple heaps (tests) never cross wires.
+thread_local Heap::ThreadCache *TlsCache = nullptr;
+} // namespace
+
 Heap::Heap(size_t BudgetBytes) : Budget(BudgetBytes) {
   DCHM_CHECK(Budget >= 4096, "heap budget too small");
 }
 
 Heap::~Heap() {
+  foldCaches();
   Object *O = AllObjects;
   while (O) {
     Object *Next = O->NextAlloc;
@@ -38,23 +45,81 @@ Heap::~Heap() {
   }
 }
 
+void Heap::setConcurrent(bool On) {
+  Concurrent = On;
+  UsedApprox.store(Stats.UsedBytes, std::memory_order_relaxed);
+}
+
+Heap::ThreadCache *Heap::registerMutator() {
+  Caches.push_back(std::make_unique<ThreadCache>());
+  Caches.back()->Owner = this;
+  return Caches.back().get();
+}
+
+void Heap::bindMutator(ThreadCache *C) { TlsCache = C; }
+
+void Heap::unregisterMutator(ThreadCache *C) {
+  if (TlsCache == C)
+    TlsCache = nullptr;
+  // Splice the cache's objects and counters into the global state, then
+  // drop the slot. World-stopped: nothing else walks Caches concurrently.
+  if (C->Head) {
+    *C->TailLink = AllObjects;
+    AllObjects = C->Head;
+  }
+  Stats.UsedBytes += C->UsedBytes;
+  Stats.BytesAllocated += C->BytesAllocated;
+  Stats.ObjectsAllocated += C->ObjectsAllocated;
+  Stats.PeakBytes = std::max(Stats.PeakBytes, Stats.UsedBytes);
+  for (size_t I = 0; I < Caches.size(); ++I)
+    if (Caches[I].get() == C) {
+      Caches.erase(Caches.begin() + static_cast<long>(I));
+      break;
+    }
+}
+
+void Heap::foldCaches() {
+  for (auto &C : Caches) {
+    if (C->Head) {
+      *C->TailLink = AllObjects;
+      AllObjects = C->Head;
+      C->Head = nullptr;
+      C->TailLink = nullptr;
+    }
+    Stats.UsedBytes += C->UsedBytes;
+    Stats.BytesAllocated += C->BytesAllocated;
+    Stats.ObjectsAllocated += C->ObjectsAllocated;
+    C->UsedBytes = 0;
+    C->BytesAllocated = 0;
+    C->ObjectsAllocated = 0;
+  }
+  Stats.PeakBytes = std::max(Stats.PeakBytes, Stats.UsedBytes);
+}
+
+void Heap::recordBudgetError(size_t Used, size_t Requested) {
+  if (BudgetErr)
+    return;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "heap budget exhausted: %zu bytes live + %zu requested "
+                "exceeds budget of %zu bytes%s",
+                Used, Requested, Budget,
+                Roots ? " after collection" : " (no GC roots registered)");
+  BudgetErr = VMError::error(Buf);
+}
+
 Object *Heap::allocateRaw(uint32_t NumSlots) {
   size_t Bytes = Object::allocBytes(NumSlots);
+  if (Concurrent)
+    return allocateRawConcurrent(NumSlots, Bytes);
   if (Stats.UsedBytes + Bytes > Budget && Roots)
-    collect();
+    collectStopped();
   // Soft budget: proceed even when the collection did not free enough (the
   // run stays deterministic; cycles for the attempted GC were charged), but
   // record the overrun as a sticky recoverable error the embedder can
   // surface instead of silently pretending the heap fit.
-  if (Stats.UsedBytes + Bytes > Budget && !BudgetErr) {
-    char Buf[160];
-    std::snprintf(Buf, sizeof(Buf),
-                  "heap budget exhausted: %zu bytes live + %zu requested "
-                  "exceeds budget of %zu bytes%s",
-                  Stats.UsedBytes, Bytes, Budget,
-                  Roots ? " after collection" : " (no GC roots registered)");
-    BudgetErr = VMError::error(Buf);
-  }
+  if (Stats.UsedBytes + Bytes > Budget)
+    recordBudgetError(Stats.UsedBytes, Bytes);
   void *Mem = ::operator new(Bytes);
   Object *O = new (Mem) Object();
   O->NumSlots = NumSlots;
@@ -66,6 +131,50 @@ Object *Heap::allocateRaw(uint32_t NumSlots) {
   Stats.ObjectsAllocated++;
   for (uint32_t I = 0; I < NumSlots; ++I)
     O->slots()[I] = zeroValue();
+  return O;
+}
+
+Object *Heap::allocateRawConcurrent(uint32_t NumSlots, size_t Bytes) {
+  ThreadCache *TC =
+      (TlsCache && TlsCache->Owner == this) ? TlsCache : nullptr;
+  // Budget trigger on the approximate watermark: one GC rendezvous at a
+  // time; the closure re-checks so a thread that lost the race to a
+  // just-finished collection does not immediately run another.
+  if (UsedApprox.load(std::memory_order_relaxed) + Bytes > Budget && Roots &&
+      SafeExec)
+    SafeExec([&] {
+      if (UsedApprox.load(std::memory_order_relaxed) + Bytes > Budget)
+        collectStopped();
+    });
+  if (UsedApprox.load(std::memory_order_relaxed) + Bytes > Budget) {
+    std::lock_guard<std::mutex> L(SlowMu);
+    recordBudgetError(UsedApprox.load(std::memory_order_relaxed), Bytes);
+  }
+  void *Mem = ::operator new(Bytes);
+  Object *O = new (Mem) Object();
+  O->NumSlots = NumSlots;
+  for (uint32_t I = 0; I < NumSlots; ++I)
+    O->slots()[I] = zeroValue();
+  if (TC) {
+    O->NextAlloc = TC->Head;
+    if (!TC->Head)
+      TC->TailLink = &O->NextAlloc;
+    TC->Head = O;
+    TC->UsedBytes += Bytes;
+    TC->BytesAllocated += Bytes;
+    TC->ObjectsAllocated++;
+  } else {
+    // Host thread without a cache (setup code before the mutators spawn,
+    // or a test): fall back to the global list under the slow-path lock.
+    std::lock_guard<std::mutex> L(SlowMu);
+    O->NextAlloc = AllObjects;
+    AllObjects = O;
+    Stats.UsedBytes += Bytes;
+    Stats.PeakBytes = std::max(Stats.PeakBytes, Stats.UsedBytes);
+    Stats.BytesAllocated += Bytes;
+    Stats.ObjectsAllocated++;
+  }
+  UsedApprox.fetch_add(Bytes, std::memory_order_relaxed);
   return O;
 }
 
@@ -95,7 +204,18 @@ void Heap::mark(Object *O, std::vector<Object *> &Work) {
 }
 
 void Heap::collect() {
+  // Concurrent mode: the world must stop before roots are enumerated and
+  // caches folded; route through the VM-installed rendezvous executor.
+  if (Concurrent && SafeExec) {
+    SafeExec([this] { collectStopped(); });
+    return;
+  }
+  collectStopped();
+}
+
+void Heap::collectStopped() {
   DCHM_CHECK(Roots, "collect() without a root provider");
+  foldCaches();
   Stats.GcCount++;
   uint64_t Marked = 0, Swept = 0;
 
@@ -139,6 +259,7 @@ void Heap::collect() {
 
   Stats.GcCycles += GcPauseCycles + GcMarkCyclesPerObject * Marked +
                     GcSweepCyclesPerObject * Swept;
+  UsedApprox.store(Stats.UsedBytes, std::memory_order_relaxed);
 }
 
 } // namespace dchm

@@ -25,9 +25,12 @@
 #include "runtime/TIB.h"
 #include "support/Error.h"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 namespace dchm {
@@ -82,15 +85,57 @@ public:
   /// Allocates an array of Len elements of ElemTy, zero-initialized.
   Object *allocateArray(Type ElemTy, int64_t Len);
 
-  /// Forces a collection (also triggered automatically by allocation).
+  /// Forces a collection (also triggered automatically by allocation). In
+  /// concurrent mode the collection is routed through the safepoint
+  /// executor so it runs with every mutator stopped.
   void collect();
+
+  // --- Multi-mutator support ----------------------------------------------
+  /// Per-mutator-thread allocation buffer. Objects are linked onto a
+  /// thread-local list with thread-local byte accounting; both fold into
+  /// the global list/stats at safepoints (GC, unregister), so the hot
+  /// allocation path takes no lock.
+  struct ThreadCache {
+    Heap *Owner = nullptr;
+    Object *Head = nullptr;     ///< newest-first local allocation list
+    Object **TailLink = nullptr; ///< &oldest->NextAlloc, for O(1) splicing
+    uint64_t BytesAllocated = 0;
+    uint64_t ObjectsAllocated = 0;
+    size_t UsedBytes = 0;
+  };
+
+  /// Runs whole-heap work (GC) with the world stopped; wired by the VM to
+  /// the safepoint rendezvous in multi-mutator mode.
+  using SafepointExecutor =
+      std::function<void(const std::function<void()> &)>;
+  void setSafepointExecutor(SafepointExecutor E) { SafeExec = std::move(E); }
+
+  /// Enables the concurrent allocation path (per-thread buffers + atomic
+  /// budget accounting + GC through the safepoint executor). Single-mutator
+  /// runs never call this; their allocator is byte-identical to before.
+  void setConcurrent(bool On);
+  bool concurrent() const { return Concurrent; }
+
+  /// Creates a cache slot for one mutator thread. Call from the host thread
+  /// before the mutators start (or with the world stopped).
+  ThreadCache *registerMutator();
+  /// Binds the calling thread to its cache; subsequent allocations on this
+  /// thread go through it lock-free.
+  void bindMutator(ThreadCache *C);
+  /// Folds and removes a cache. Must run with the world stopped (the VM
+  /// wraps this in a rendezvous closure at mutator exit).
+  void unregisterMutator(ThreadCache *C);
 
   /// Visits every allocated object (live or not-yet-collected garbage).
   /// Used by the online value profiler's heap census; a stop-the-world
-  /// walk, like a collection without the sweep.
+  /// walk, like a collection without the sweep. In concurrent mode this is
+  /// only safe at a safepoint (caches are walked unsynchronized).
   void forEachObject(const std::function<void(Object *)> &Fn) const {
     for (Object *O = AllObjects; O; O = O->NextAlloc)
       Fn(O);
+    for (const auto &C : Caches)
+      for (Object *O = C->Head; O; O = O->NextAlloc)
+        Fn(O);
   }
 
   const HeapStats &stats() const { return Stats; }
@@ -106,6 +151,12 @@ public:
 
 private:
   Object *allocateRaw(uint32_t NumSlots);
+  Object *allocateRawConcurrent(uint32_t NumSlots, size_t Bytes);
+  /// The collection proper; caller guarantees the world is stopped (trivially
+  /// true single-mutator).
+  void collectStopped();
+  void foldCaches();
+  void recordBudgetError(size_t Used, size_t Requested);
   void mark(Object *O, std::vector<Object *> &Work);
 
   size_t Budget;
@@ -114,6 +165,15 @@ private:
   Object *AllObjects = nullptr;
   HeapStats Stats;
   VMError BudgetErr;
+
+  // Multi-mutator state. Quiescent (empty/false) in single-mutator runs.
+  bool Concurrent = false;
+  SafepointExecutor SafeExec;
+  std::vector<std::unique_ptr<ThreadCache>> Caches;
+  /// Approximate live-byte watermark for the concurrent budget trigger:
+  /// bumped on every allocation, re-synced to exact UsedBytes at each GC.
+  std::atomic<size_t> UsedApprox{0};
+  std::mutex SlowMu; ///< guards BudgetErr and unbuffered-thread allocation
 };
 
 /// RAII root registration for objects held in host (C++) storage: anything

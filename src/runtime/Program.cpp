@@ -91,16 +91,16 @@ MethodId Program::defineMethod(ClassId Owner, const std::string &Name,
                "interface methods are public abstract instance methods");
     Flags.IsAbstract = true;
   }
-  MethodInfo M;
-  M.Id = static_cast<MethodId>(Methods.size());
+  // Built in place: MethodInfo carries atomic counters and cannot be moved.
+  MethodInfo &M = Methods.emplace_back();
+  M.Id = static_cast<MethodId>(Methods.size() - 1);
   M.Owner = Owner;
   M.Name = Name;
   M.RetTy = RetTy;
   M.ParamTys = std::move(ParamTys);
   M.Flags = Flags;
-  Methods.push_back(std::move(M));
-  Classes[Owner].Methods.push_back(Methods.back().Id);
-  return Methods.back().Id;
+  Classes[Owner].Methods.push_back(M.Id);
+  return M.Id;
 }
 
 void Program::setBody(MethodId Id, IRFunction F) {

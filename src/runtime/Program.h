@@ -25,6 +25,7 @@
 #include "runtime/Value.h"
 #include "support/Error.h"
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <string>
@@ -106,8 +107,10 @@ public:
   /// are stale and must re-resolve, so a cached target can never bypass a
   /// freshly installed special (or general) code pointer. Starts at 1 so a
   /// zero-initialized cache site is never spuriously valid.
-  uint64_t codeEpoch() const { return CodeEpoch; }
-  void bumpCodeEpoch() { ++CodeEpoch; }
+  uint64_t codeEpoch() const {
+    return CodeEpoch.load(std::memory_order_acquire);
+  }
+  void bumpCodeEpoch() { CodeEpoch.fetch_add(1, std::memory_order_release); }
 
   // --- Code installation (Jikes default semantics) -------------------------
   /// Installs CM as the current general compiled code of M: JTOC entry for
@@ -182,7 +185,9 @@ private:
   size_t ReclaimedTibs = 0;
   size_t ReclaimedBodies = 0;
 
-  uint64_t CodeEpoch = 1;
+  /// Atomic: mutator threads stamp inline caches with the current epoch
+  /// while rendezvous closures bump it.
+  std::atomic<uint64_t> CodeEpoch{1};
   bool Linked = false;
 };
 

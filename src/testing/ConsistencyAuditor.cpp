@@ -73,15 +73,24 @@ ConsistencyAuditor::expectedMutableCode(const MutableClassPlan &CP,
 }
 
 void ConsistencyAuditor::auditNow(const char *Trigger) {
-  ++Audits;
+  // The walk reads the heap, every interpreter's frames, and the dispatch
+  // structures, so it must not race with other mutators. atSafepoint is a
+  // plain call at N=1 and re-entrant from inside an open rendezvous, so
+  // transition audits fired within a mutation closure run inline.
+  VM.atSafepoint([&] { auditStopped(Trigger); });
+}
+
+void ConsistencyAuditor::auditStopped(const char *Trigger) {
+  Audits.fetch_add(1, std::memory_order_relaxed);
   CurTrigger = Trigger;
 
   // Objects whose constructor frames are still live are exempt from the
   // strict TIB-matches-state check: an inner constructor in a callspecial
   // chain exits (and stamps CtorDone) while the outer one is still filling
-  // in fields.
+  // in fields. Every mutator context can hold such frames.
   std::vector<Object *> UnderCtor;
-  VM.interp().collectActiveCtorReceivers(UnderCtor);
+  for (unsigned T = 0; T < VM.mutatorThreads(); ++T)
+    VM.interp(T).collectActiveCtorReceivers(UnderCtor);
 
   auditHeap(UnderCtor);
   auditTibs();
@@ -309,13 +318,13 @@ void ConsistencyAuditor::auditImts() {
 }
 
 std::string ConsistencyAuditor::report() const {
-  if (TotalViolations == 0)
-    return "consistency auditor: " + std::to_string(Audits) +
+  if (clean())
+    return "consistency auditor: " + std::to_string(auditsRun()) +
            " audits, no violations\n";
-  std::string R = "consistency auditor: " + std::to_string(TotalViolations) +
-                  " violation(s) across " + std::to_string(Audits) +
+  std::string R = "consistency auditor: " + std::to_string(violationCount()) +
+                  " violation(s) across " + std::to_string(auditsRun()) +
                   " audits";
-  if (TotalViolations > Recorded.size())
+  if (violationCount() > Recorded.size())
     R += " (first " + std::to_string(Recorded.size()) + " recorded)";
   R += "\n";
   for (const AuditViolation &V : Recorded)

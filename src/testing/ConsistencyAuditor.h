@@ -36,6 +36,7 @@
 
 #include "core/VM.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -52,6 +53,13 @@ struct AuditViolation {
 /// Walks heap + dispatch structures at safepoints and after mutation
 /// transitions, recording invariant violations. Attach with
 /// VM.setAuditHook(&Auditor) (gated by VMOptions::AuditConsistency).
+///
+/// Thread safety (multi-mutator mode): the tick/audit/violation counters are
+/// atomic so any mutator may hit onSafepoint concurrently, and the audit walk
+/// itself runs under VM.atSafepoint() — i.e. with every other mutator parked —
+/// so Recorded and CurTrigger are only ever written world-stopped. Transition
+/// audits fired from inside a mutation closure re-enter the open rendezvous
+/// inline rather than deadlocking on a nested request.
 class ConsistencyAuditor : public AuditHook {
 public:
   /// Stride N audits every Nth safepoint (transitions always audit).
@@ -62,26 +70,31 @@ public:
 
   // --- AuditHook -----------------------------------------------------------
   void onSafepoint() override {
-    if (++SafepointTick % Stride == 0)
+    if ((SafepointTick.fetch_add(1, std::memory_order_relaxed) + 1) % Stride ==
+        0)
       auditNow("safepoint");
   }
   void onMutationTransition(const char *Where) override { auditNow(Where); }
 
-  /// Runs one full audit pass immediately.
+  /// Runs one full audit pass immediately (world-stopped at N>1).
   void auditNow(const char *Trigger);
 
-  uint64_t auditsRun() const { return Audits; }
-  uint64_t safepointsSeen() const { return SafepointTick; }
+  uint64_t auditsRun() const { return Audits.load(std::memory_order_relaxed); }
+  uint64_t safepointsSeen() const {
+    return SafepointTick.load(std::memory_order_relaxed);
+  }
   /// Total violations found (keeps counting past the recording cap).
-  uint64_t violationCount() const { return TotalViolations; }
-  bool clean() const { return TotalViolations == 0; }
+  uint64_t violationCount() const {
+    return TotalViolations.load(std::memory_order_relaxed);
+  }
+  bool clean() const { return violationCount() == 0; }
   /// Recorded violations (capped at MaxRecorded to keep broken runs cheap).
   const std::vector<AuditViolation> &violations() const { return Recorded; }
   void reset() {
     Recorded.clear();
-    TotalViolations = 0;
-    Audits = 0;
-    SafepointTick = 0;
+    TotalViolations.store(0, std::memory_order_relaxed);
+    Audits.store(0, std::memory_order_relaxed);
+    SafepointTick.store(0, std::memory_order_relaxed);
   }
 
   /// Multi-line human-readable summary of the recorded violations.
@@ -90,6 +103,9 @@ public:
   static constexpr size_t MaxRecorded = 64;
 
 private:
+  /// The audit walk proper. Only runs world-stopped (see auditNow).
+  void auditStopped(const char *Trigger);
+
   void addViolation(const char *Check, const std::string &Detail);
 
   // Read-only re-implementations of the mutation engine's state matching
@@ -110,9 +126,10 @@ private:
 
   VirtualMachine &VM;
   uint64_t Stride;
-  uint64_t SafepointTick = 0;
-  uint64_t Audits = 0;
-  uint64_t TotalViolations = 0;
+  std::atomic<uint64_t> SafepointTick{0};
+  std::atomic<uint64_t> Audits{0};
+  std::atomic<uint64_t> TotalViolations{0};
+  // Written only world-stopped (inside auditStopped).
   const char *CurTrigger = "";
   std::vector<AuditViolation> Recorded;
 };

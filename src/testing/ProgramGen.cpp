@@ -153,6 +153,81 @@ void ProgramGen::generateOps() {
   Push({GenOp::PrintAcc, 0, 0, false, 0, 1});
 }
 
+void ProgramGen::generateThreadOps() {
+  // The tmain driver: thread-confined objects only, no static stores. Every
+  // op kind except SetStatic is fair game — SetStatic would race other
+  // mutators under the guest threading contract (docs/threads.md), so its
+  // probability band re-rolls as extra tick calls.
+  Model.TOps.clear();
+  auto Push = [&](GenOp O) { Model.TOps.push_back(O); };
+  for (size_t FI = 0; FI < Model.Families.size(); ++FI) {
+    const GenFamily &F = Model.Families[FI];
+    int64_t Hot = F.HotInstance.empty() || F.HotInstance[0].empty()
+                      ? 0
+                      : F.HotInstance[0][0];
+    int Fam = static_cast<int>(FI);
+    int Base = Fam * VarsPerFamily;
+    // Prelude per family: reach specialized code from inside the thread —
+    // construct cold, run hot, swing to a hot state, keep running.
+    Push({GenOp::New, Fam, Base, false, 3, 1});
+    Push({GenOp::CallTick, Fam, Base, false, 0, 60});
+    Push({GenOp::SetMode, Fam, Base, false, Hot, 1});
+    Push({GenOp::CallTick, Fam, Base, false, 0, 30});
+    Push({GenOp::CallGet, Fam, Base, false, 0, 1});
+  }
+  size_t NumRandom = static_cast<size_t>(R.nextInRange(8, 20));
+  for (size_t I = 0; I < NumRandom; ++I) {
+    GenOp O;
+    int Fam = static_cast<int>(R.nextBelow(Model.Families.size()));
+    const GenFamily &F = Model.Families[static_cast<size_t>(Fam)];
+    O.Fam = Fam;
+    O.Var = Fam * VarsPerFamily +
+            static_cast<int>(R.nextBelow(VarsPerFamily));
+    auto ModeVal = [&]() -> int64_t {
+      if (!F.HotInstance.empty() && !F.HotInstance[0].empty() &&
+          R.nextBool(0.5)) {
+        const auto &T = F.HotInstance[R.nextBelow(F.HotInstance.size())];
+        if (!T.empty())
+          return T[0];
+      }
+      return R.nextInRange(0, 3);
+    };
+    uint64_t Roll = R.nextBelow(100);
+    if (Roll < 10) {
+      O.K = GenOp::New;
+      O.Sub = F.HasSub && R.nextBool(0.5);
+      O.Val = ModeVal();
+    } else if (Roll < 25) {
+      O.K = GenOp::SetMode;
+      O.Val = ModeVal();
+    } else if (Roll < 30) {
+      O.K = GenOp::SetMode2;
+      O.Val = R.nextInRange(0, 2);
+    } else if (Roll < 60) { // absorbs the SetStatic band
+      O.K = GenOp::CallTick;
+      O.Count = R.nextInRange(1, 50);
+    } else if (Roll < 68) {
+      O.K = GenOp::CallIface;
+      O.Count = R.nextInRange(1, 40);
+    } else if (Roll < 73) {
+      O.K = GenOp::CallWide;
+      O.Val = R.nextInRange(0, 8);
+      O.Count = R.nextInRange(1, 20);
+    } else if (Roll < 80) {
+      O.K = GenOp::CallStatic; // reads statics only: race-free
+      O.Count = R.nextInRange(1, 40);
+    } else if (Roll < 88) {
+      O.K = GenOp::CallGet;
+    } else if (Roll < 94) {
+      O.K = GenOp::TypeTest;
+    } else {
+      O.K = GenOp::PrintAcc;
+    }
+    Push(O);
+  }
+  Push({GenOp::PrintAcc, 0, 0, false, 0, 1});
+}
+
 std::string ProgramGen::generate() {
   Model.Families.clear();
   Model.Opt1 = 30;
@@ -169,6 +244,9 @@ std::string ProgramGen::generate() {
   // pre-segment corpora. Three segments = plan active, retired, re-installed.
   if (R.nextBool(0.35))
     Model.Segments = 3;
+  // Likewise drawn after everything else: a seed's main() is byte-identical
+  // to pre-tmain corpora.
+  generateThreadOps();
   return render();
 }
 
@@ -455,6 +533,23 @@ void ProgramGen::renderDriver(std::string &S) const {
     ++N;
   };
 
+  // The thread-safe driver: fresh variables (thread-confined objects), no
+  // static stores, a local accumulator. N mutators run this concurrently in
+  // the fuzzer's --threads mode; Vars resets so ops only see objects tmain
+  // itself allocated.
+  auto RenderTmain = [&] {
+    for (VarState &V : Vars)
+      V.Init = false;
+    S += "  method tmain() -> i64 static {\n";
+    S += "    %acc = consti 0\n";
+    S += "    %one = consti 1\n";
+    for (const GenOp &O : Model.TOps)
+      RenderOp(O);
+    S += "    print %acc\n";
+    S += "    ret %acc\n";
+    S += "  }\n";
+  };
+
   if (Segs == 1) {
     S += "  method main() -> i64 static {\n";
     S += "    %acc = consti 0\n";
@@ -463,7 +558,9 @@ void ProgramGen::renderDriver(std::string &S) const {
       RenderOp(O);
     S += "    print %acc\n";
     S += "    ret %acc\n";
-    S += "  }\n}\n";
+    S += "  }\n";
+    RenderTmain();
+    S += "}\n";
     return;
   }
 
@@ -499,7 +596,9 @@ void ProgramGen::renderDriver(std::string &S) const {
     Last = "%r" + itos(K);
     S += "    " + Last + " = callstatic Main.seg" + itos(K) + "()\n";
   }
-  S += "    ret " + Last + "\n  }\n}\n";
+  S += "    ret " + Last + "\n  }\n";
+  RenderTmain();
+  S += "}\n";
 }
 
 std::string ProgramGen::render() const {
@@ -550,14 +649,16 @@ std::string ProgramGen::minimize(
         Model.Segments = Saved;
     }
     // Drop driver ops, largest index first so loops vanish before the News
-    // they depend on.
-    for (size_t I = Model.Ops.size(); I > 0; --I) {
-      GenOp Saved = Model.Ops[I - 1];
-      Model.Ops.erase(Model.Ops.begin() + static_cast<long>(I - 1));
-      if (StillFails(render()))
-        Changed = true;
-      else
-        Model.Ops.insert(Model.Ops.begin() + static_cast<long>(I - 1), Saved);
+    // they depend on. Same treatment for both drivers.
+    for (std::vector<GenOp> *Ops : {&Model.Ops, &Model.TOps}) {
+      for (size_t I = Ops->size(); I > 0; --I) {
+        GenOp Saved = (*Ops)[I - 1];
+        Ops->erase(Ops->begin() + static_cast<long>(I - 1));
+        if (StillFails(render()))
+          Changed = true;
+        else
+          Ops->insert(Ops->begin() + static_cast<long>(I - 1), Saved);
+      }
     }
     // Drop whole families (ops referencing them become render no-ops).
     for (size_t FI = Model.Families.size(); FI > 1; --FI) {

@@ -21,6 +21,13 @@
 /// tools/dchm_run and shrinks with the greedy delta-minimizer here. See
 /// docs/fuzzing.md.
 ///
+/// Besides `Main.main`, every program renders a `Main.tmain` driver obeying
+/// the guest thread-safety contract (docs/threads.md): it allocates its own
+/// objects and never stores to a static field, so N mutator threads can run
+/// it concurrently against one Program/Heap and each thread's output stream
+/// must equal a single-mutator run of the same method (the fuzzer's
+/// --threads dimension).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DCHM_TESTING_PROGRAMGEN_H
@@ -105,6 +112,10 @@ struct GenModel {
   int ReinstallAfterSeg = 1; ///< re-install it after this (later) segment
   std::vector<GenFamily> Families;
   std::vector<GenOp> Ops;
+  /// Ops of the thread-safe `Main.tmain` driver: same op language minus
+  /// SetStatic (statics must be read-only once mutators run), over variables
+  /// the method allocates itself (thread-confined objects).
+  std::vector<GenOp> TOps;
 };
 
 /// Plan directives parsed back out of a generated (or hand-edited) `.mvm`
@@ -154,6 +165,7 @@ public:
 private:
   void generateFamily(GenFamily &F);
   void generateOps();
+  void generateThreadOps();
   void renderFamily(std::string &S, size_t FamIdx) const;
   void renderDriver(std::string &S) const;
 

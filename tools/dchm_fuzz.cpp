@@ -28,9 +28,17 @@
 // deterministically and asserts the toolchain returns diagnostics instead
 // of aborting the process.
 //
+// --threads switches to the multi-mutator dimension: each program's
+// Main.main runs once on context 0 (the classic phase), then Main.tmain —
+// rendered by ProgramGen to obey the guest threading contract — runs on 1,
+// 2, and 4 concurrent mutators against the same Program/Heap. Every
+// mutator's output hash must equal the single-mutator reference, and the
+// consistency auditor must stay clean in every run (docs/threads.md).
+//
 //   dchm_fuzz [--n=<programs>] [--seed=<base>] [--stride=<k>]
-//             [--full-matrix] [--inject-skip-tib] [--inject-skip-code]
-//             [--inject-partial-retire] [--malformed=<n>]
+//             [--full-matrix] [--threads] [--inject-skip-tib]
+//             [--inject-skip-code] [--inject-partial-retire]
+//             [--malformed=<n>]
 //
 //===----------------------------------------------------------------------===//
 
@@ -309,6 +317,142 @@ int runMalformed(uint64_t N, uint64_t SeedBase) {
   return 0;
 }
 
+/// One multi-mutator run: Main.main on context 0, then Main.tmain on TN
+/// concurrent mutators. Hashes[T] is mutator T's output hash over its own
+/// tmain stream (context 0's main-phase output is cleared first).
+struct ThreadedOutcome {
+  bool Ok = false;
+  std::string Error;
+  std::vector<uint64_t> Hashes;
+  uint64_t Violations = 0;
+  std::string AuditReport;
+};
+
+ThreadedOutcome runThreaded(const std::string &Source, unsigned TN,
+                            uint64_t Stride) {
+  ThreadedOutcome Out;
+  AssemblyResult R = assembleProgram(Source);
+  if (!R.ok()) {
+    Out.Error = "assembly failed: " + R.Error;
+    return Out;
+  }
+  Program &P = *R.P;
+  GenPlanInfo Gen;
+  std::string Err;
+  if (!ProgramGen::parsePlanDirectives(Source, P, Gen, Err)) {
+    Out.Error = "plan directives failed: " + Err;
+    return Out;
+  }
+  ClassId MainCls = P.findClass("Main");
+  MethodId Entry =
+      MainCls != NoClassId ? P.findMethod(MainCls, "main") : NoMethodId;
+  MethodId TEntry =
+      MainCls != NoClassId ? P.findMethod(MainCls, "tmain") : NoMethodId;
+  if (Entry == NoMethodId || TEntry == NoMethodId) {
+    Out.Error = "no Main.main / Main.tmain";
+    return Out;
+  }
+
+  VMOptions Opts;
+  Opts.EnableMutation = !Gen.Plan.empty();
+  if (Gen.Opt1)
+    Opts.Adaptive.Opt1Threshold = Gen.Opt1;
+  if (Gen.Opt2)
+    Opts.Adaptive.Opt2Threshold = Gen.Opt2;
+  Opts.AuditConsistency = HostToggle::On;
+  Opts.MutatorThreads = TN;
+
+  VirtualMachine VM(P, Opts);
+  if (Opts.EnableMutation)
+    VM.setMutationPlan(&Gen.Plan);
+  ConsistencyAuditor Auditor(VM, Stride);
+  VM.setAuditHook(&Auditor);
+
+  // Phase 1 — the classic workload on context 0, before any mutator thread
+  // exists: swings states, compiles specials, sets the statics tmain may
+  // read.
+  VM.call(Entry, {});
+  // Phase 2 — the thread-safe driver on TN concurrent mutators. Output
+  // streams restart at the phase boundary so each hash covers tmain alone.
+  for (unsigned T = 0; T < TN; ++T)
+    VM.interp(T).clearOutput();
+  VM.runMutators([&](unsigned T) { VM.callOn(T, TEntry, {}); });
+
+  Out.Hashes.resize(TN);
+  for (unsigned T = 0; T < TN; ++T)
+    Out.Hashes[T] = VM.interp(T).outputHash();
+  Auditor.auditNow("end of threaded run");
+  Out.Violations = Auditor.violationCount();
+  Out.AuditReport = Auditor.report();
+  Out.Ok = true;
+  return Out;
+}
+
+int reportFailure(ProgramGen &G, uint64_t Seed, const std::string &Source,
+                  const std::string &Why,
+                  const std::function<bool(const std::string &)> &StillFails);
+
+/// --threads mode: per-thread hash equivalence against the single-mutator
+/// reference at 2 and 4 mutators, auditor clean throughout.
+int runThreadsDimension(uint64_t N, uint64_t SeedBase, uint64_t Stride) {
+  uint64_t Runs = 0;
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t Seed = SeedBase + I;
+    ProgramGen G(Seed);
+    std::string Source = G.generate();
+
+    ThreadedOutcome Ref = runThreaded(Source, 1, Stride);
+    ++Runs;
+    std::string Why;
+    if (!Ref.Ok)
+      Why = Ref.Error;
+    else if (Ref.Violations)
+      Why = "auditor violations (1 mutator):\n" + Ref.AuditReport;
+    for (unsigned TN : {2u, 4u}) {
+      if (!Why.empty())
+        break;
+      ThreadedOutcome O = runThreaded(Source, TN, Stride);
+      ++Runs;
+      if (!O.Ok) {
+        Why = O.Error;
+      } else if (O.Violations) {
+        Why = "auditor violations (" + std::to_string(TN) +
+              " mutators):\n" + O.AuditReport;
+      } else {
+        for (unsigned T = 0; T < TN; ++T)
+          if (O.Hashes[T] != Ref.Hashes[0]) {
+            Why = "mutator " + std::to_string(T) + " of " +
+                  std::to_string(TN) +
+                  " diverged from the single-mutator tmain stream";
+            break;
+          }
+      }
+    }
+    if (!Why.empty()) {
+      return reportFailure(G, Seed, Source, Why,
+                           [&](const std::string &S) {
+                             ThreadedOutcome A = runThreaded(S, 1, Stride);
+                             if (!A.Ok || A.Violations)
+                               return true;
+                             for (unsigned TN : {2u, 4u}) {
+                               ThreadedOutcome B = runThreaded(S, TN, Stride);
+                               if (!B.Ok || B.Violations)
+                                 return true;
+                               for (uint64_t H : B.Hashes)
+                                 if (H != A.Hashes[0])
+                                   return true;
+                             }
+                             return false;
+                           });
+    }
+  }
+  std::printf("fuzz: %llu programs, %llu runs, threads dimension {1,2,4}: "
+              "all per-thread streams deterministic, auditor clean\n",
+              static_cast<unsigned long long>(N),
+              static_cast<unsigned long long>(Runs));
+  return 0;
+}
+
 int reportFailure(ProgramGen &G, uint64_t Seed, const std::string &Source,
                   const std::string &Why,
                   const std::function<bool(const std::string &)> &StillFails) {
@@ -331,7 +475,7 @@ int reportFailure(ProgramGen &G, uint64_t Seed, const std::string &Source,
 
 int main(int Argc, char **Argv) {
   uint64_t N = 50, SeedBase = 1, Stride = 4, Malformed = 0;
-  bool FullMatrix = false;
+  bool FullMatrix = false, ThreadsDim = false;
   InjectFlags Inject;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -345,6 +489,8 @@ int main(int Argc, char **Argv) {
       Malformed = std::stoull(A.substr(12));
     else if (A == "--full-matrix")
       FullMatrix = true;
+    else if (A == "--threads")
+      ThreadsDim = true;
     else if (A == "--inject-skip-tib")
       Inject.SkipTibSwing = true;
     else if (A == "--inject-skip-code")
@@ -359,6 +505,8 @@ int main(int Argc, char **Argv) {
 
   if (Malformed)
     return runMalformed(Malformed, SeedBase);
+  if (ThreadsDim)
+    return runThreadsDimension(N, SeedBase, Stride);
 
   std::vector<HostConfig> Matrix;
   if (FullMatrix)

@@ -12,6 +12,7 @@
 //                           [--heap-mb=<n>] [--accelerated]
 //   dchm_run plan <workload>
 //   dchm_run disasm <workload> <Class.method> [--state=<k>]
+//   dchm_run --print-env
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +21,7 @@
 #include "compiler/Passes.h"
 #include "compiler/Specializer.h"
 #include "online/OnlineController.h"
+#include "support/Env.h"
 #include "support/Timer.h"
 #include "testing/ConsistencyAuditor.h"
 #include "testing/ProgramGen.h"
@@ -348,12 +350,17 @@ int main(int Argc, char **Argv) {
                  "       dchm_run plan <workload>\n"
                  "       dchm_run disasm <workload> <Class.method> [--state=<k>]\n"
                  "       dchm_run exec <file.mvm> [--entry=Class.method]\n"
-                 "                [--mutate] [--audit] [int args...]\n");
+                 "                [--mutate] [--audit] [int args...]\n"
+                 "       dchm_run --print-env\n");
     return 1;
   }
   std::string Cmd = Argv[1];
   if (Cmd == "list")
     return cmdList();
+  if (Cmd == "--print-env" || Cmd == "print-env") {
+    std::printf("%s", env::printTable().c_str());
+    return 0;
+  }
   if (Cmd == "exec") {
     if (Argc < 3) {
       std::fprintf(stderr, "exec needs a .mvm file\n");
